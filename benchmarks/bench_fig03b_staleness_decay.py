@@ -1,0 +1,43 @@
+"""Fig. 3b — accuracy decays with staleness and recovers at updates.
+
+Paper result: AUC declines as serving proceeds without updates and sharply
+recovers when a model update lands.
+"""
+
+import numpy as np
+
+from repro.experiments.accuracy import AccuracyConfig
+from repro.experiments.freshness import staleness_decay_curve
+from repro.experiments.reporting import banner, format_table
+
+
+def test_fig03b_staleness_decay(once):
+    config = AccuracyConfig(pretrain_steps=250)
+
+    def run():
+        frozen = staleness_decay_curve(
+            config, horizon_minutes=60, step_minutes=5
+        )
+        refreshed = staleness_decay_curve(
+            config, horizon_minutes=60, step_minutes=5,
+            refresh_every_minutes=20,
+        )
+        return frozen, refreshed
+
+    frozen, refreshed = once(run)
+    rows = [
+        [f"{int(f.minutes_stale)} min", f"{f.auc:.4f}", f"{r.auc:.4f}",
+         "<- update" if r.refreshed else ""]
+        for f, r in zip(frozen, refreshed)
+    ]
+    print(banner("Fig. 3b: AUC vs staleness (no updates vs 20-min updates)"))
+    print(format_table(["age", "frozen AUC", "refreshed AUC", ""], rows))
+
+    # decay: frozen model loses accuracy over the hour
+    early = np.mean([p.auc for p in frozen[:3]])
+    late = np.mean([p.auc for p in frozen[-3:]])
+    assert late < early - 0.01
+    # recovery: periodic refresh retains more accuracy than frozen serving
+    assert np.mean([p.auc for p in refreshed[-6:]]) > np.mean(
+        [p.auc for p in frozen[-6:]]
+    )

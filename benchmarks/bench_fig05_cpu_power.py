@@ -1,0 +1,28 @@
+"""Fig. 5 — CPU power of co-located training vs inference-only.
+
+Paper result: running the LoRA trainer alongside inference costs only ~20%
+more CPU power than inference-only operation.
+"""
+
+from repro.experiments.reporting import banner, format_table
+from repro.experiments.utilization import power_comparison
+
+
+def test_fig05_cpu_power(once):
+    pc = once(power_comparison)
+    rows = [
+        [
+            "inference-only",
+            f"{pc.inference_only.mean_power_w:.0f} W",
+            f"{pc.inference_only.energy_kwh:.1f} kWh/day",
+        ],
+        [
+            "inference+training",
+            f"{pc.colocated.mean_power_w:.0f} W",
+            f"{pc.colocated.energy_kwh:.1f} kWh/day",
+        ],
+    ]
+    print(banner("Fig. 5: CPU power, inference-only vs co-located training"))
+    print(format_table(["configuration", "mean power", "energy"], rows))
+    print(f"mean power increase: {pc.mean_power_increase * 100:.1f}%")
+    assert 0.10 < pc.mean_power_increase < 0.30  # the paper's ~20%

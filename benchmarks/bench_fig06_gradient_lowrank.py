@@ -1,0 +1,39 @@
+"""Fig. 6 — cumulative PCA variance of embedding gradients.
+
+Paper result: 3-6 principal components capture >=80% of gradient variance,
+with per-table spread between the best and worst case.
+"""
+
+from repro.experiments.accuracy import AccuracyConfig
+from repro.experiments.lowrank import collect_gradient_spectra, spread_extremes
+from repro.experiments.reporting import banner, format_table
+
+
+def test_fig06_gradient_lowrank(once):
+    config = AccuracyConfig(pretrain_steps=150)
+    spectra = once(
+        lambda: collect_gradient_spectra(
+            config, snapshots=5, steps_per_snapshot=15
+        )
+    )
+    smallest, largest = spread_extremes(spectra)
+    rows = []
+    for label, spec in (("smallest spread", smallest), ("largest spread", largest)):
+        curve = spec.mean_curve()
+        rows.append(
+            [
+                f"table {spec.table} ({label})",
+                f"{curve[0]:.3f}",
+                f"{curve[2]:.3f}",
+                f"{curve[min(5, len(curve) - 1)]:.3f}",
+                f"{spec.ranks_at_alpha}",
+            ]
+        )
+    print(banner("Fig. 6: cumulative variance of top-k gradient components"))
+    print(format_table(["table", "k=1", "k=3", "k=6", "rank@0.8 per snapshot"], rows))
+
+    # <=6 components reach 80% of the variance in every table (paper's O2)
+    for spec in spectra:
+        curve = spec.mean_curve()
+        assert curve[min(5, len(curve) - 1)] >= 0.80
+    assert largest.rank_spread >= smallest.rank_spread

@@ -1,0 +1,41 @@
+"""Fig. 8 — model-update timelines of the three methods over one hour.
+
+Paper result: LiveUpdate delivers by far the most model versions (sub-second
+updates every ~3 minutes); DeltaUpdate's transfers serialize and deliver the
+fewest; QuickUpdate sits in between.
+"""
+
+from repro.data.datasets import BD_TB
+from repro.experiments.reporting import banner, format_table
+from repro.experiments.update_cost import fig8_timelines
+
+
+def test_fig08_update_timelines(once):
+    timelines = once(lambda: fig8_timelines(BD_TB))
+    rows = [
+        [
+            name,
+            tl.updates_delivered,
+            f"{tl.average_staleness() / 60:.1f} min",
+            f"{tl.max_staleness() / 60:.1f} min",
+            f"{tl.total_update_seconds / 60:.1f} min",
+        ]
+        for name, tl in timelines.items()
+    ]
+    print(banner("Fig. 8: update timelines over one hour (BD-TB)"))
+    print(
+        format_table(
+            ["method", "versions", "avg staleness", "max staleness", "busy"],
+            rows,
+        )
+    )
+    assert (
+        timelines["LiveUpdate"].updates_delivered
+        > timelines["QuickUpdate"].updates_delivered
+        > timelines["DeltaUpdate"].updates_delivered
+    )
+    assert (
+        timelines["LiveUpdate"].average_staleness()
+        < timelines["QuickUpdate"].average_staleness()
+        < timelines["DeltaUpdate"].average_staleness()
+    )

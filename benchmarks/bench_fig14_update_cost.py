@@ -1,0 +1,46 @@
+"""Fig. 14 — hourly update cost across datasets and update frequencies.
+
+Paper result: DeltaUpdate is prohibitive (near or beyond the full hour at
+5-minute cadence); QuickUpdate scales linearly with frequency; LiveUpdate is
+flat (~3 min) and ~2x cheaper than QuickUpdate at the 5-minute interval.
+"""
+
+from repro.data.datasets import AVAZU_TB, BD_TB, CRITEO_TB
+from repro.experiments.reporting import banner, format_table
+from repro.experiments.update_cost import fig14_grid
+
+
+def test_fig14_update_cost(once):
+    grid = once(lambda: fig14_grid([AVAZU_TB, CRITEO_TB, BD_TB]))
+    for dataset, rows in grid.items():
+        table = [
+            [
+                row.method,
+                f"{row.window_s / 60:.0f} min",
+                row.updates_per_hour,
+                f"{row.volume_bytes_per_update / 1024 ** 4:.2f} TB",
+                f"{row.total_cost_min:.1f} min",
+            ]
+            for row in rows
+        ]
+        print(banner(f"Fig. 14: hourly update cost — {dataset}"))
+        print(
+            format_table(
+                ["method", "interval", "updates/h", "vol/update", "total cost"],
+                table,
+            )
+        )
+
+    for dataset, rows in grid.items():
+        cost = {
+            (r.method, r.window_s): r.total_cost_s for r in rows
+        }
+        # DeltaUpdate at 5-min cadence is prohibitive
+        assert cost[("DeltaUpdate", 300.0)] > 35 * 60
+        # LiveUpdate ~2x cheaper than QuickUpdate at 5-min frequency
+        assert cost[("QuickUpdate", 300.0)] > 1.8 * cost[("LiveUpdate", 300.0)]
+        # LiveUpdate's cost is frequency-independent
+        live = [cost[("LiveUpdate", w)] for w in (300.0, 600.0, 1200.0)]
+        assert max(live) / min(live) < 1.05
+        # QuickUpdate scales ~linearly with update frequency
+        assert cost[("QuickUpdate", 300.0)] > 3.5 * cost[("QuickUpdate", 1200.0)]

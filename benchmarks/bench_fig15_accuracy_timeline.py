@@ -1,0 +1,62 @@
+"""Fig. 15 — accuracy over two hours with 5-minute updates (BD-TB-like).
+
+Paper result: LiveUpdate tracks or exceeds DeltaUpdate most of the time;
+QuickUpdate sits slightly below DeltaUpdate; the hourly full sync re-anchors
+the reduced-update methods (grey vertical line at 60 min).
+"""
+
+import numpy as np
+
+from repro.experiments.accuracy import AccuracyConfig, run_comparison
+from repro.experiments.factories import (
+    delta_update,
+    live_update,
+    quick_update,
+)
+from repro.experiments.reporting import banner, format_table
+
+from conftest import FAST
+
+
+def test_fig15_accuracy_timeline(once):
+    cfg = AccuracyConfig(
+        horizon_s=3600.0 if FAST else 7200.0,
+        update_interval_s=300.0,
+        full_sync_interval_s=3600.0,
+    )
+    runs = once(
+        lambda: run_comparison(
+            cfg,
+            {
+                "DeltaUpdate": delta_update,
+                "QuickUpdate-5%": quick_update(0.05),
+                "LiveUpdate": live_update(),
+            },
+        )
+    )
+    # print one AUC sample per 10 minutes
+    delta_tl = runs["DeltaUpdate"].timeline
+    stride = max(1, len(delta_tl) // 12)
+    rows = []
+    for i in range(0, len(delta_tl), stride):
+        rows.append(
+            [f"{delta_tl[i].time_s / 60:.0f} min"]
+            + [f"{runs[k].timeline[i].auc:.4f}" for k in runs]
+        )
+    print(banner("Fig. 15: AUC timeline, 5-min updates, hourly full sync"))
+    print(format_table(["time", *runs.keys()], rows))
+    for name, run in runs.items():
+        print(f"{name:16s} mean AUC = {run.mean_auc:.4f}")
+
+    assert runs["LiveUpdate"].mean_auc > runs["DeltaUpdate"].mean_auc
+    assert runs["QuickUpdate-5%"].mean_auc < runs["DeltaUpdate"].mean_auc
+
+    # LiveUpdate wins most of the timeline, not just on average
+    wins = np.mean(
+        [
+            l.auc > d.auc
+            for l, d in zip(runs["LiveUpdate"].timeline, delta_tl)
+            if not (np.isnan(l.auc) or np.isnan(d.auc))
+        ]
+    )
+    assert wins > 0.5

@@ -1,0 +1,40 @@
+"""Fig. 19 — LoRA sync time vs inference-node count, with projection.
+
+Paper result: synchronization time grows O(log N) thanks to the tree-based
+exchange; projected training+sync time stays under 10 minutes out to 48
+nodes.
+"""
+
+import numpy as np
+
+from repro.cluster.collectives import fit_log_trend
+from repro.experiments.reporting import banner, format_table
+from repro.experiments.sync_interval import scalability_curve
+
+
+def test_fig19_scalability(once):
+    points = once(scalability_curve)
+    rows = [
+        [
+            p.num_nodes,
+            f"{p.sync_seconds:.1f} s",
+            "projected" if p.projected else "measured",
+        ]
+        for p in points
+    ]
+    print(banner("Fig. 19: sync time vs inference-node count"))
+    print(format_table(["nodes", "sync time / window", "kind"], rows))
+
+    measured = [p for p in points if not p.projected]
+    xs = np.array([p.num_nodes for p in measured], dtype=float)
+    ys = np.array([p.sync_seconds for p in measured])
+    intercept, slope = fit_log_trend(xs, ys)
+    residual = ys - (intercept + slope * np.log2(xs))
+    print(f"log-fit: t = {intercept:.2f} + {slope:.2f} * log2(N), "
+          f"max residual {np.abs(residual).max():.3f}s")
+
+    # logarithmic scaling: the log2 fit is essentially exact
+    assert np.abs(residual).max() < 0.05 * ys.max()
+    # projection to 48 nodes stays under the 10-minute freshness budget
+    at48 = next(p for p in points if p.num_nodes == 48)
+    assert at48.sync_seconds < 600

@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Each ``bench_*`` file regenerates one figure or table from the paper.  The
+experiments run exactly once per session (``pedantic`` with one round) and
+print their series so the output can be compared with the paper side by
+side.  Set ``REPRO_FAST=1`` to shrink the heavy accuracy benches.
+"""
+
+import os
+
+import pytest
+
+FAST = bool(int(os.environ.get("REPRO_FAST", "0")))
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

@@ -1,0 +1,57 @@
+"""Command-line entry point: ``python -m repro``.
+
+Prints the experiment index (paper artifact -> regenerating bench) and can
+run the quick demo loop without touching pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+
+EXPERIMENT_INDEX = [
+    ("Fig. 3a", "embedding update ratio per window", "bench_fig03a_update_ratio.py"),
+    ("Fig. 3b", "AUC decay under staleness + recovery", "bench_fig03b_staleness_decay.py"),
+    ("Fig. 4", "24 h inference-cluster CPU utilisation", "bench_fig04_cpu_utilization.py"),
+    ("Fig. 5", "co-located training CPU power", "bench_fig05_cpu_power.py"),
+    ("Fig. 6", "gradient low-rank structure (PCA)", "bench_fig06_gradient_lowrank.py"),
+    ("Fig. 8", "update timelines of the three methods", "bench_fig08_timeline.py"),
+    ("Fig. 9", "accuracy vs LoRA sync interval", "bench_fig09_sync_interval.py"),
+    ("Fig. 10", "DDR pressure during inference", "bench_fig10_memory_pressure.py"),
+    ("Fig. 11", "L3 hit ratios, reuse & CCD scheduling", "bench_fig11_l3_hit_ratio.py"),
+    ("Fig. 12", "embedding access CDF (93.8% @ top-10%)", "bench_fig12_access_cdf.py"),
+    ("Tab. II", "dataset inventory", "bench_tab2_datasets.py"),
+    ("Fig. 14", "hourly update cost grid", "bench_fig14_update_cost.py"),
+    ("Tab. III", "AUC improvement over DeltaUpdate", "bench_tab3_accuracy.py"),
+    ("Fig. 15", "2 h accuracy timeline", "bench_fig15_accuracy_timeline.py"),
+    ("Fig. 16", "P99 isolation ablation", "bench_fig16_p99_ablation.py"),
+    ("Fig. 17", "LoRA memory optimizations", "bench_fig17_memory.py"),
+    ("Fig. 18", "power & utilisation before/after", "bench_fig18_power_util.py"),
+    ("Fig. 19", "sync-time scalability", "bench_fig19_scalability.py"),
+    ("extra", "fixed-rank sweep", "bench_ablation_rank.py"),
+    ("extra", "alpha threshold sweep", "bench_ablation_alpha.py"),
+    ("extra", "merge-policy comparison", "bench_ablation_merge.py"),
+    ("extra", "pruning boundary sweep", "bench_ablation_pruning.py"),
+    ("extra", "drift-triggered full sync", "bench_ablation_drift_sync.py"),
+]
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "demo":
+        from examples_demo import main as demo  # pragma: no cover
+
+        demo()
+        return 0
+    print("LiveUpdate reproduction (HPCA 2026) — experiment index\n")
+    width = max(len(a) for a, _, _ in EXPERIMENT_INDEX)
+    for artifact, what, bench in EXPERIMENT_INDEX:
+        print(f"  {artifact:<{width}}  {what:<42} benchmarks/{bench}")
+    print(
+        "\nRegenerate one:   pytest benchmarks/<file> --benchmark-only -s"
+        "\nRegenerate all:   pytest benchmarks/ --benchmark-only -s"
+        "\nQuick demo:       python examples/quickstart.py"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

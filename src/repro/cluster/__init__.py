@@ -1,0 +1,47 @@
+"""Deployment substrate: networks, parameter server, collectives, cluster
+actors, and the discrete-event update-timeline simulator."""
+
+from .collectives import (
+    CollectiveCostModel,
+    allgather_naive_seconds,
+    allgather_ring_seconds,
+    allgather_tree_seconds,
+    fit_log_trend,
+)
+from .consistency import (
+    ConsistencyReport,
+    check_prediction_consistency,
+    parameter_divergence,
+)
+from .network import GBE_100, INFINIBAND_EDR, NetworkLink, transfer_seconds
+from .nodes import InferenceNode, PullReport, PushReport, TrainingCluster
+from .parameter_server import ParameterServer, ShardStats
+from .timeline import UpdateEvent, UpdateTimeline, simulate_periodic_updates
+from .version_manager import GateResult, ModelVersionManager, VersionRecord
+
+__all__ = [
+    "NetworkLink",
+    "GBE_100",
+    "INFINIBAND_EDR",
+    "transfer_seconds",
+    "ConsistencyReport",
+    "check_prediction_consistency",
+    "parameter_divergence",
+    "ParameterServer",
+    "ShardStats",
+    "CollectiveCostModel",
+    "allgather_tree_seconds",
+    "allgather_ring_seconds",
+    "allgather_naive_seconds",
+    "fit_log_trend",
+    "TrainingCluster",
+    "InferenceNode",
+    "PushReport",
+    "PullReport",
+    "UpdateEvent",
+    "ModelVersionManager",
+    "VersionRecord",
+    "GateResult",
+    "UpdateTimeline",
+    "simulate_periodic_updates",
+]

@@ -1,0 +1,80 @@
+"""Inter-cluster network model.
+
+Update-cost results in the paper (Fig. 14, and the headline "26 minutes to
+sync 20 TB over 100 GbE") reduce to transfer time = volume / effective
+bandwidth plus propagation latency and a contention discount when update
+traffic shares links with serving traffic.  This module provides exactly
+that arithmetic, with named link presets used across benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkLink", "GBE_100", "INFINIBAND_EDR", "transfer_seconds"]
+
+GB = 1024 ** 3
+TB = 1024 ** 4
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point (or bisection) network path.
+
+    Attributes:
+        name: label for reports.
+        bandwidth_gbps: raw line rate in **gigabits** per second.
+        latency_ms: one-way propagation/setup latency.
+        efficiency: achievable fraction of line rate (protocol overheads,
+            incast, imperfect pipelining); 0.85-0.95 typical.
+    """
+
+    name: str
+    bandwidth_gbps: float
+    latency_ms: float = 0.5
+    efficiency: float = 0.9
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_gbps * 1e9 / 8.0 * self.efficiency
+
+    def transfer_seconds(
+        self, volume_bytes: float, contention: float = 0.0
+    ) -> float:
+        """Time to move ``volume_bytes``.
+
+        Args:
+            contention: fraction of the link consumed by competing traffic
+                (serving RPCs); update traffic gets the remainder.
+        """
+        if volume_bytes < 0:
+            raise ValueError("volume must be non-negative")
+        if not 0.0 <= contention < 1.0:
+            raise ValueError("contention must be in [0, 1)")
+        effective = self.bytes_per_second * (1.0 - contention)
+        return self.latency_ms / 1e3 + volume_bytes / effective
+
+    def scaled(self, factor: float) -> "NetworkLink":
+        """A link with ``factor`` times the bandwidth (aggregated trunks)."""
+        return NetworkLink(
+            name=f"{self.name}x{factor:g}",
+            bandwidth_gbps=self.bandwidth_gbps * factor,
+            latency_ms=self.latency_ms,
+            efficiency=self.efficiency,
+        )
+
+
+#: Commodity inter-cluster link from the paper's examples.
+GBE_100 = NetworkLink(name="100GbE", bandwidth_gbps=100.0)
+
+#: Intra-cluster fabric of the evaluation testbed.
+INFINIBAND_EDR = NetworkLink(
+    name="InfiniBand-EDR", bandwidth_gbps=100.0, latency_ms=0.05, efficiency=0.95
+)
+
+
+def transfer_seconds(
+    volume_bytes: float, link: NetworkLink = GBE_100, contention: float = 0.0
+) -> float:
+    """Module-level convenience wrapper around :meth:`NetworkLink.transfer_seconds`."""
+    return link.transfer_seconds(volume_bytes, contention=contention)

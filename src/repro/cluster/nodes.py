@@ -1,0 +1,165 @@
+"""Training-cluster and inference-node actors.
+
+These wrap the DLRM substrate into the deployment roles of Fig. 2:
+
+* :class:`TrainingCluster` continuously trains its own replica on the
+  streaming data and pushes changed embedding rows to the parameter server.
+* :class:`InferenceNode` serves predictions from a (possibly stale) replica
+  and can pull deltas from the parameter server to catch up.
+
+Both operate on real parameters so accuracy timelines are measured, not
+modelled; transfer *times* come from the network cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.synthetic import Batch
+from ..dlrm.model import DLRM
+from ..dlrm.optim import RowwiseAdagrad
+from .network import NetworkLink, GBE_100
+from .parameter_server import ParameterServer
+
+__all__ = ["PushReport", "PullReport", "TrainingCluster", "InferenceNode"]
+
+
+@dataclass
+class PushReport:
+    """Result of one training-cluster publish event."""
+
+    version: int
+    rows_pushed: int
+    bytes_pushed: int
+    transfer_seconds: float
+
+
+@dataclass
+class PullReport:
+    """Result of one inference-node delta pull."""
+
+    version: int
+    rows_pulled: int
+    bytes_pulled: int
+    transfer_seconds: float
+
+
+class TrainingCluster:
+    """The GPU training tier: trains a replica, publishes deltas.
+
+    Args:
+        model: the training replica (owned and mutated).
+        server: destination parameter server.
+        link: training-cluster -> parameter-server network path.
+        lr: learning rate of the row-wise Adagrad optimizer.
+    """
+
+    def __init__(
+        self,
+        model: DLRM,
+        server: ParameterServer,
+        link: NetworkLink = GBE_100,
+        lr: float = 0.05,
+    ) -> None:
+        self.model = model
+        self.server = server
+        self.link = link
+        self.optimizer = RowwiseAdagrad(lr=lr)
+        self.steps_trained = 0
+
+    def train_on(self, batch: Batch, update_dense: bool = True) -> float:
+        """One mini-batch step; returns the loss."""
+        result = self.model.train_step(
+            batch.dense, batch.sparse_ids, batch.labels, self.optimizer,
+            update_dense=update_dense,
+        )
+        self.steps_trained += 1
+        return result.loss
+
+    def publish_changed_rows(self) -> PushReport:
+        """Push every row touched since the last publish (delta push)."""
+        rows_pushed = 0
+        version = self.server.version
+        for f, table in enumerate(self.model.embeddings):
+            touched = table.touched_rows()
+            if touched.size == 0:
+                continue
+            version = self.server.publish_batch(
+                f"table_{f}", touched, table.weight[touched]
+            )
+            rows_pushed += int(touched.size)
+            table.reset_touched()
+        nbytes = rows_pushed * self.server.row_bytes
+        return PushReport(
+            version=version,
+            rows_pushed=rows_pushed,
+            bytes_pushed=nbytes,
+            transfer_seconds=self.link.transfer_seconds(nbytes) if nbytes else 0.0,
+        )
+
+
+class InferenceNode:
+    """One serving replica that pulls updates from the parameter server."""
+
+    def __init__(
+        self,
+        model: DLRM,
+        server: ParameterServer,
+        link: NetworkLink = GBE_100,
+        node_id: int = 0,
+    ) -> None:
+        self.model = model
+        self.server = server
+        self.link = link
+        self.node_id = node_id
+        self.synced_version = server.version
+        self.pull_log: list[PullReport] = []
+
+    def predict(self, batch: Batch, overlay=None) -> np.ndarray:
+        return self.model.predict(batch.dense, batch.sparse_ids, overlay=overlay)
+
+    def staleness_versions(self) -> int:
+        """How many publish events behind the server this node is."""
+        return self.server.version - self.synced_version
+
+    def pull_updates(
+        self, row_filter: np.ndarray | None = None
+    ) -> PullReport:
+        """Apply every delta newer than our synced version.
+
+        Args:
+            row_filter: optional id whitelist per pull (QuickUpdate-style
+                priority subsetting happens upstream at publish time; this
+                filter exists for partial-pull experiments).
+        """
+        total_rows = 0
+        for f, table in enumerate(self.model.embeddings):
+            indices, rows, version = self.server.pull_delta(
+                f"table_{f}", self.synced_version
+            )
+            if indices.size == 0:
+                continue
+            if row_filter is not None:
+                keep = np.isin(indices, row_filter)
+                indices, rows = indices[keep], rows[keep]
+            if indices.size:
+                valid = indices < table.num_rows
+                table.assign_rows(indices[valid], rows[valid])
+                total_rows += int(valid.sum())
+        self.synced_version = self.server.version
+        nbytes = total_rows * self.server.row_bytes
+        report = PullReport(
+            version=self.synced_version,
+            rows_pulled=total_rows,
+            bytes_pulled=nbytes,
+            transfer_seconds=self.link.transfer_seconds(nbytes) if nbytes else 0.0,
+        )
+        self.pull_log.append(report)
+        return report
+
+    def adopt_model(self, source: DLRM) -> None:
+        """Full-parameter refresh from a source replica (hourly full sync)."""
+        self.model.load_state_dict(source.state_dict())
+        self.synced_version = self.server.version

@@ -1,0 +1,144 @@
+"""Sharded, versioned parameter server (the Redis-style tier in Fig. 2).
+
+Production DLRM deployments push trained parameters to a sharded KV store,
+which inference nodes pull from.  The simulator keeps real NumPy rows so the
+accuracy experiments can actually move parameters through it, while also
+exposing the bookkeeping the systems experiments need: version batching,
+delta logs (which rows changed since version v), and per-shard volume
+accounting for transfer-cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ShardStats", "ParameterServer"]
+
+
+@dataclass
+class ShardStats:
+    """Write/read accounting for one shard."""
+
+    rows_written: int = 0
+    rows_read: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+
+class ParameterServer:
+    """Versioned row store for embedding tables, sharded by row id.
+
+    Keys are ``(table_name, row_id)``; each write advances the row's version
+    to the server's current *publish version*.  Training clusters call
+    :meth:`publish_batch` to push rows and bump the version; inference nodes
+    call :meth:`pull_delta` to fetch everything newer than their local
+    version — exactly the delta-update protocol of Section II-B.
+
+    Args:
+        num_shards: hash shards (affects stats granularity only).
+        row_bytes: accounting size per row (dtype bytes x dim).
+    """
+
+    def __init__(self, num_shards: int = 8, row_bytes: int = 128) -> None:
+        if num_shards <= 0:
+            raise ValueError("need at least one shard")
+        self.num_shards = num_shards
+        self.row_bytes = row_bytes
+        self.version = 0
+        self._rows: dict[tuple[str, int], np.ndarray] = {}
+        self._row_version: dict[tuple[str, int], int] = {}
+        self.shard_stats = [ShardStats() for _ in range(num_shards)]
+
+    # ----------------------------------------------------------------- basics
+    def _shard_of(self, key: tuple[str, int]) -> int:
+        return hash(key) % self.num_shards
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self._rows) * self.row_bytes
+
+    # ----------------------------------------------------------------- writes
+    def publish_batch(
+        self, table: str, indices: np.ndarray, rows: np.ndarray
+    ) -> int:
+        """Write rows under a freshly bumped version; returns that version.
+
+        Version batching: one publish call = one synchronization event, no
+        matter how many rows it carries (Section II-B's "version batching").
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if rows.shape[0] != indices.shape[0]:
+            raise ValueError("indices and rows disagree on length")
+        self.version += 1
+        for i, row in zip(indices, rows):
+            key = (table, int(i))
+            self._rows[key] = np.array(row, dtype=np.float64, copy=True)
+            self._row_version[key] = self.version
+            stats = self.shard_stats[self._shard_of(key)]
+            stats.rows_written += 1
+            stats.bytes_written += self.row_bytes
+        return self.version
+
+    # ------------------------------------------------------------------ reads
+    def pull_rows(
+        self, table: str, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Point lookups; returns (found_mask, rows) with zeros for misses."""
+        indices = np.asarray(indices, dtype=np.int64)
+        dim = None
+        for key in ((table, int(i)) for i in indices):
+            if key in self._rows:
+                dim = self._rows[key].shape[0]
+                break
+        if dim is None:
+            return np.zeros(len(indices), dtype=bool), np.zeros((len(indices), 1))
+        mask = np.zeros(len(indices), dtype=bool)
+        out = np.zeros((len(indices), dim))
+        for j, i in enumerate(indices):
+            key = (table, int(i))
+            row = self._rows.get(key)
+            if row is not None:
+                mask[j] = True
+                out[j] = row
+                stats = self.shard_stats[self._shard_of(key)]
+                stats.rows_read += 1
+                stats.bytes_read += self.row_bytes
+        return mask, out
+
+    def pull_delta(
+        self, table: str, since_version: int
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """All rows of ``table`` newer than ``since_version``.
+
+        Returns ``(indices, rows, current_version)``; the caller records the
+        returned version as its new sync point.
+        """
+        hits = [
+            (key[1], self._rows[key])
+            for key, ver in self._row_version.items()
+            if key[0] == table and ver > since_version
+        ]
+        if not hits:
+            return np.array([], dtype=np.int64), np.zeros((0, 1)), self.version
+        hits.sort(key=lambda kv: kv[0])
+        indices = np.array([h[0] for h in hits], dtype=np.int64)
+        rows = np.stack([h[1] for h in hits])
+        for i in indices:
+            stats = self.shard_stats[self._shard_of((table, int(i)))]
+            stats.rows_read += 1
+            stats.bytes_read += self.row_bytes
+        return indices, rows, self.version
+
+    def delta_volume_bytes(self, table: str, since_version: int) -> int:
+        """Bytes a delta pull *would* transfer (no read accounting)."""
+        count = sum(
+            1
+            for key, ver in self._row_version.items()
+            if key[0] == table and ver > since_version
+        )
+        return count * self.row_bytes

@@ -1,0 +1,192 @@
+"""Model version management: batching, promotion gates, and rollback.
+
+The parameter-server tier "manages version control" (Section II-B).  In
+production that means more than a counter: updates are batched into
+promotable versions, each version passes a quality gate (canary AUC) before
+fleet-wide promotion, and a bad version can be rolled back.  LiveUpdate's
+hourly full sync rides this machinery; its local LoRA updates deliberately
+bypass it (that's the freshness win), which makes the gate on the full-sync
+path the fleet's safety net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dlrm.checkpoint import Checkpoint
+from ..dlrm.model import DLRM
+
+__all__ = ["VersionRecord", "GateResult", "ModelVersionManager"]
+
+
+@dataclass
+class VersionRecord:
+    """One promotable model version."""
+
+    version: int
+    checkpoint: Checkpoint
+    created_s: float
+    canary_auc: float | None = None
+    promoted: bool = False
+    rolled_back: bool = False
+
+
+@dataclass
+class GateResult:
+    """Outcome of a canary evaluation."""
+
+    version: int
+    canary_auc: float
+    reference_auc: float
+    passed: bool
+
+    @property
+    def auc_delta(self) -> float:
+        return self.canary_auc - self.reference_auc
+
+
+class ModelVersionManager:
+    """Versioned checkpoint store with promotion gating and rollback.
+
+    Args:
+        max_versions: retention window (older checkpoints are dropped,
+            except the currently promoted one).
+        gate_tolerance: max allowed AUC regression vs the serving version
+            for a candidate to pass the canary gate.
+    """
+
+    def __init__(
+        self, max_versions: int = 5, gate_tolerance: float = 0.005
+    ) -> None:
+        if max_versions < 2:
+            raise ValueError("need to retain at least two versions")
+        self.max_versions = max_versions
+        self.gate_tolerance = gate_tolerance
+        self._records: dict[int, VersionRecord] = {}
+        self._next_version = 1
+        self.serving_version: int | None = None
+        self.gate_log: list[GateResult] = []
+
+    # ---------------------------------------------------------------- stash
+    def register(self, model: DLRM, now: float) -> VersionRecord:
+        """Snapshot a trained model as a candidate version."""
+        version = self._next_version
+        self._next_version += 1
+        record = VersionRecord(
+            version=version,
+            checkpoint=Checkpoint.capture(model, version),
+            created_s=now,
+        )
+        self._records[version] = record
+        self._evict()
+        return record
+
+    def _evict(self) -> None:
+        while len(self._records) > self.max_versions:
+            oldest = min(
+                v for v in self._records if v != self.serving_version
+            )
+            del self._records[oldest]
+
+    def get(self, version: int) -> VersionRecord:
+        if version not in self._records:
+            raise KeyError(f"version {version} not retained")
+        return self._records[version]
+
+    @property
+    def versions(self) -> list[int]:
+        return sorted(self._records)
+
+    # ----------------------------------------------------------------- gate
+    def canary_gate(
+        self,
+        candidate: int,
+        canary_auc: float,
+        reference_auc: float,
+    ) -> GateResult:
+        """Record a canary evaluation and decide promotability.
+
+        The candidate passes unless it regresses more than
+        ``gate_tolerance`` below the currently serving version's AUC.
+        """
+        record = self.get(candidate)
+        record.canary_auc = canary_auc
+        passed = canary_auc >= reference_auc - self.gate_tolerance
+        result = GateResult(
+            version=candidate,
+            canary_auc=canary_auc,
+            reference_auc=reference_auc,
+            passed=passed,
+        )
+        self.gate_log.append(result)
+        return result
+
+    # ------------------------------------------------------------ promotion
+    def promote(self, version: int, fleet: list[DLRM]) -> int:
+        """Restore ``version`` onto every replica; returns replicas updated."""
+        record = self.get(version)
+        for model in fleet:
+            record.checkpoint.restore(model)
+        record.promoted = True
+        self.serving_version = version
+        return len(fleet)
+
+    def rollback(self, fleet: list[DLRM]) -> int:
+        """Revert the fleet to the last promoted version before the current.
+
+        Returns the version rolled back to.
+        """
+        if self.serving_version is None:
+            raise RuntimeError("nothing has been promoted yet")
+        current = self.serving_version
+        candidates = [
+            v
+            for v, r in self._records.items()
+            if r.promoted and v < current and not r.rolled_back
+        ]
+        if not candidates:
+            raise RuntimeError("no earlier promoted version retained")
+        target = max(candidates)
+        self._records[current].rolled_back = True
+        self.promote(target, fleet)
+        return target
+
+    # ------------------------------------------------------------ utilities
+    def promote_if_healthy(
+        self,
+        candidate: int,
+        fleet: list[DLRM],
+        eval_batch,
+        metric=None,
+    ) -> GateResult:
+        """Canary-evaluate against the serving fleet, promote on pass.
+
+        Args:
+            candidate: version to consider.
+            fleet: serving replicas (replica 0 is the canary reference).
+            eval_batch: a labelled :class:`~repro.data.synthetic.Batch`.
+            metric: callable ``(labels, scores) -> float``; defaults to AUC.
+        """
+        from ..dlrm.metrics import auc_roc
+
+        metric = metric or auc_roc
+        reference_auc = float(
+            metric(
+                eval_batch.labels,
+                fleet[0].predict(eval_batch.dense, eval_batch.sparse_ids),
+            )
+        )
+        probe = fleet[0].copy()
+        self.get(candidate).checkpoint.restore(probe)
+        canary_auc = float(
+            metric(
+                eval_batch.labels,
+                probe.predict(eval_batch.dense, eval_batch.sparse_ids),
+            )
+        )
+        result = self.canary_gate(candidate, canary_auc, reference_auc)
+        if result.passed:
+            self.promote(candidate, fleet)
+        return result

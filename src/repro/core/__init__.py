@@ -1,0 +1,49 @@
+"""LiveUpdate core: LoRA adapters, dynamic rank adaptation, usage-based
+pruning, the inference-side trainer, hot-index filtering, sparse
+data-parallel synchronization, and the tiered update strategy."""
+
+from .drift import AdaptiveSyncPolicy, DriftMonitor, DriftSample
+from .hot_index import HotIndexFilter
+from .liveupdate import LiveUpdate, LiveUpdateConfig
+from .lora import LoRAAdapter, LoRACollection
+from .pruning import PruneDecision, UsageTracker, dynamic_tau_from_counts
+from .rank_adaptation import (
+    RankMonitor,
+    approximation_error,
+    cumulative_variance,
+    lowrank_approximation,
+    rank_for_variance,
+)
+from .sync import (
+    SparseLoRASynchronizer,
+    SyncReport,
+    average_merge,
+    priority_merge,
+)
+from .trainer import LoRATrainer, TrainerConfig, TrainerReport
+
+__all__ = [
+    "LoRAAdapter",
+    "LoRACollection",
+    "cumulative_variance",
+    "rank_for_variance",
+    "lowrank_approximation",
+    "approximation_error",
+    "RankMonitor",
+    "UsageTracker",
+    "PruneDecision",
+    "dynamic_tau_from_counts",
+    "HotIndexFilter",
+    "LoRATrainer",
+    "TrainerConfig",
+    "TrainerReport",
+    "SparseLoRASynchronizer",
+    "SyncReport",
+    "priority_merge",
+    "average_merge",
+    "DriftMonitor",
+    "DriftSample",
+    "AdaptiveSyncPolicy",
+    "LiveUpdate",
+    "LiveUpdateConfig",
+]

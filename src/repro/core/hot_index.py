@@ -1,0 +1,91 @@
+"""Hot Index Filter (Fig. 7, inference path step 2).
+
+On every serving request, LiveUpdate must decide per sparse id whether the
+LoRA adjustment applies: "hot" ids (recently updated by the online trainer)
+are served ``W_base[i] + A[i] B``; cold ids take the plain base-table path.
+The filter is a per-field set with optional time-based expiry so entries
+fade once the trainer stops touching them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HotIndexFilter"]
+
+
+class HotIndexFilter:
+    """Per-field recently-updated-id membership filter.
+
+    Args:
+        num_fields: number of sparse feature fields.
+        expiry_s: optional age limit; entries older than this (relative to
+            the most recent :meth:`mark` time) stop matching.  ``None``
+            disables expiry (entries persist until :meth:`clear`).
+    """
+
+    def __init__(self, num_fields: int, expiry_s: float | None = None) -> None:
+        if num_fields <= 0:
+            raise ValueError("need at least one field")
+        if expiry_s is not None and expiry_s <= 0:
+            raise ValueError("expiry must be positive when set")
+        self.num_fields = num_fields
+        self.expiry_s = expiry_s
+        self._marked: list[dict[int, float]] = [{} for _ in range(num_fields)]
+        self._now = 0.0
+
+    def mark(self, field: int, ids: np.ndarray, now: float | None = None) -> None:
+        """Record ids as hot at time ``now`` (trainer update callback)."""
+        if now is not None:
+            self._now = max(self._now, now)
+        stamp = self._now
+        table = self._marked[field]
+        for i in np.asarray(ids, dtype=np.int64):
+            table[int(i)] = stamp
+
+    def advance(self, now: float) -> None:
+        """Move the filter's clock forward (expiry reference)."""
+        self._now = max(self._now, now)
+
+    def is_hot(self, field: int, ids: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``ids`` are currently hot."""
+        table = self._marked[field]
+        ids = np.asarray(ids, dtype=np.int64)
+        if self.expiry_s is None:
+            return np.array([int(i) in table for i in ids], dtype=bool)
+        horizon = self._now - self.expiry_s
+        return np.array(
+            [table.get(int(i), -np.inf) >= horizon for i in ids], dtype=bool
+        )
+
+    def __call__(self, field: int, ids: np.ndarray) -> np.ndarray:
+        """Alias so the filter plugs into :meth:`LoRACollection.overlay`."""
+        return self.is_hot(field, ids)
+
+    def hot_count(self, field: int) -> int:
+        """Number of currently-hot ids in one field (after expiry)."""
+        table = self._marked[field]
+        if self.expiry_s is None:
+            return len(table)
+        horizon = self._now - self.expiry_s
+        return sum(1 for ts in table.values() if ts >= horizon)
+
+    def sweep(self) -> int:
+        """Physically remove expired entries; returns how many were dropped."""
+        if self.expiry_s is None:
+            return 0
+        horizon = self._now - self.expiry_s
+        dropped = 0
+        for table in self._marked:
+            stale = [i for i, ts in table.items() if ts < horizon]
+            for i in stale:
+                del table[i]
+            dropped += len(stale)
+        return dropped
+
+    def clear(self, field: int | None = None) -> None:
+        if field is None:
+            for table in self._marked:
+                table.clear()
+        else:
+            self._marked[field].clear()

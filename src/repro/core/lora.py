@@ -1,0 +1,307 @@
+"""Low-rank adapter tables for embedding updates.
+
+LiveUpdate represents the update to an embedding table as ``Delta W = A B``
+with ``A in R^{|V| x k}`` and ``B in R^{k x d}``, ``k << d`` (Eq. 3).  To
+keep memory at the paper's <2% target, ``A`` is *not* allocated for every
+vocabulary row: an :class:`LoRAAdapter` owns a compact slot array of
+``capacity`` rows plus an id -> slot map, so only active ids (survivors of
+usage-based pruning) consume memory.
+
+Rank can be resized at runtime (dynamic rank adaptation, Section IV-C):
+growth zero-pads the new directions; shrink projects ``A B`` onto its top-k
+SVD subspace so the represented update is preserved as well as a rank-k
+object can (Eckart-Young optimality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoRAAdapter", "LoRACollection"]
+
+
+@dataclass
+class _SlotMap:
+    """Bidirectional id <-> slot bookkeeping."""
+
+    id_to_slot: dict[int, int]
+    free_slots: list[int]
+
+    @classmethod
+    def empty(cls, capacity: int) -> "_SlotMap":
+        return cls(id_to_slot={}, free_slots=list(range(capacity - 1, -1, -1)))
+
+
+class LoRAAdapter:
+    """One table's low-rank update factors.
+
+    Args:
+        dim: embedding dimension ``d`` of the base table.
+        rank: initial LoRA rank ``k``.
+        capacity: number of ``A`` rows allocated (active-id budget).
+        rng: initialiser for ``B`` (``A`` rows start at zero so the adapter
+            is an exact no-op until trained, as in standard LoRA).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        rank: int,
+        capacity: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if dim <= 0 or rank <= 0 or capacity <= 0:
+            raise ValueError("dim, rank and capacity must be positive")
+        if rank > dim:
+            raise ValueError("rank cannot exceed the embedding dimension")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.rank = rank
+        self.capacity = capacity
+        self.a = np.zeros((capacity, rank))
+        self.b = rng.normal(0.0, 1.0 / np.sqrt(rank), size=(rank, dim))
+        self._slots = _SlotMap.empty(capacity)
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def num_active(self) -> int:
+        return len(self._slots.id_to_slot)
+
+    @property
+    def active_ids(self) -> np.ndarray:
+        return np.fromiter(
+            self._slots.id_to_slot.keys(), dtype=np.int64, count=self.num_active
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.a.nbytes + self.b.nbytes)
+
+    def is_active(self, idx: int) -> bool:
+        return int(idx) in self._slots.id_to_slot
+
+    def slot_of(self, idx: int) -> int | None:
+        return self._slots.id_to_slot.get(int(idx))
+
+    # ------------------------------------------------------------ activation
+    def activate(self, idx: int) -> int | None:
+        """Ensure ``idx`` has a slot; returns the slot or None if full."""
+        idx = int(idx)
+        slot = self._slots.id_to_slot.get(idx)
+        if slot is not None:
+            return slot
+        if not self._slots.free_slots:
+            return None
+        slot = self._slots.free_slots.pop()
+        self._slots.id_to_slot[idx] = slot
+        self.a[slot] = 0.0
+        return slot
+
+    def deactivate(self, idx: int) -> bool:
+        """Release ``idx``'s slot (pruning); returns True if it was active."""
+        slot = self._slots.id_to_slot.pop(int(idx), None)
+        if slot is None:
+            return False
+        self.a[slot] = 0.0
+        self._slots.free_slots.append(slot)
+        self.evictions += 1
+        return True
+
+    # --------------------------------------------------------------- algebra
+    def delta_rows(self, ids: np.ndarray) -> np.ndarray:
+        """``Delta W`` rows for ``ids``; inactive ids contribute zeros."""
+        ids = np.asarray(ids, dtype=np.int64)
+        out = np.zeros((ids.shape[0], self.dim))
+        for j, i in enumerate(ids):
+            slot = self._slots.id_to_slot.get(int(i))
+            if slot is not None:
+                out[j] = self.a[slot] @ self.b
+        return out
+
+    def apply_to(self, ids: np.ndarray, base_rows: np.ndarray) -> np.ndarray:
+        """``W_base[i] + A[i] B`` for the inference path (hot ids)."""
+        return np.asarray(base_rows, dtype=np.float64) + self.delta_rows(ids)
+
+    def accumulate_grad(
+        self, ids: np.ndarray, grad_rows: np.ndarray, lr: float
+    ) -> int:
+        """SGD step on ``A`` rows and ``B`` from embedding-space gradients.
+
+        ``dL/dA[i] = g_i B^T`` and ``dL/dB = sum_i A[i]^T g_i`` where ``g_i``
+        is the gradient of the (adapted) embedding row.  Ids without a free
+        slot are skipped (they keep flowing through the base table only).
+
+        Returns the number of ids actually updated.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        grad_rows = np.asarray(grad_rows, dtype=np.float64)
+        grad_b = np.zeros_like(self.b)
+        updated = 0
+        for i, g in zip(ids, grad_rows):
+            slot = self.activate(int(i))
+            if slot is None:
+                continue
+            grad_b += np.outer(self.a[slot], g)
+            self.a[slot] -= lr * (self.b @ g)
+            updated += 1
+        self.b -= lr * grad_b
+        return updated
+
+    # ----------------------------------------------------------- reshaping
+    def resize_rank(self, new_rank: int) -> None:
+        """Change ``k`` preserving the represented update where possible."""
+        if new_rank == self.rank:
+            return
+        if new_rank <= 0 or new_rank > self.dim:
+            raise ValueError("invalid rank")
+        if new_rank > self.rank:
+            pad_a = np.zeros((self.capacity, new_rank - self.rank))
+            rng = np.random.default_rng(self.rank * 7919 + new_rank)
+            pad_b = rng.normal(
+                0.0, 1.0 / np.sqrt(new_rank), size=(new_rank - self.rank, self.dim)
+            )
+            self.a = np.concatenate([self.a, pad_a], axis=1)
+            self.b = np.concatenate([self.b, pad_b], axis=0)
+        else:
+            # Project the active update onto its best rank-k approximation.
+            # The singular-value mass is split as sqrt(s) between the two
+            # factors: leaving it all in A (a = u*s, b = vt) preserves the
+            # product but unbalances subsequent gradient dynamics, which
+            # measurably degrades further online training.
+            active = sorted(self._slots.id_to_slot.values())
+            if active:
+                delta = self.a[active] @ self.b
+                u, s, vt = np.linalg.svd(delta, full_matrices=False)
+                k = new_rank
+                root_s = np.sqrt(s[:k])
+                new_a_rows = u[:, :k] * root_s
+                new_b = root_s[:, None] * vt[:k]
+                # Guard against dead directions: a ~zero B row would stop
+                # gradient flow (dA = B g) through that rank forever.  Give
+                # such rows a small random direction; the matching A column
+                # is ~zero too, so the represented update barely moves.
+                rng = np.random.default_rng(self.rank * 7919 + k)
+                floor = 0.1 / np.sqrt(k)
+                for j in range(new_b.shape[0]):
+                    if np.linalg.norm(new_b[j]) < floor:
+                        new_b[j] = rng.normal(0.0, 1.0 / np.sqrt(k), self.dim)
+                self.a = np.zeros((self.capacity, k))
+                self.a[active] = new_a_rows
+                self.b = new_b
+            else:
+                # Nothing learned yet: keep the leading learned directions.
+                self.a = np.zeros((self.capacity, new_rank))
+                self.b = self.b[:new_rank].copy()
+        self.rank = new_rank
+
+    def resize_capacity(self, new_capacity: int) -> None:
+        """Grow/shrink the slot budget (Eq. 4's table-length control).
+
+        Shrinking evicts the surplus ids with the *smallest* adapter norms
+        (they carry the least update information).
+        """
+        if new_capacity == self.capacity:
+            return
+        if new_capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if new_capacity < self.num_active:
+            norms = {
+                i: float(np.linalg.norm(self.a[s]))
+                for i, s in self._slots.id_to_slot.items()
+            }
+            surplus = self.num_active - new_capacity
+            for i in sorted(norms, key=norms.get)[:surplus]:
+                self.deactivate(i)
+        new_a = np.zeros((new_capacity, self.rank))
+        new_map = _SlotMap.empty(new_capacity)
+        for idx, old_slot in sorted(self._slots.id_to_slot.items()):
+            new_slot = new_map.free_slots.pop()
+            new_map.id_to_slot[idx] = new_slot
+            new_a[new_slot] = self.a[old_slot]
+        self.a = new_a
+        self._slots = new_map
+        self.capacity = new_capacity
+
+    def reset(self) -> None:
+        """Zero the adapter (after merging into base / full re-anchor)."""
+        self.a[...] = 0.0
+        self._slots = _SlotMap.empty(self.capacity)
+
+    def merge_into(self, weight: np.ndarray) -> int:
+        """Fold ``A B`` into a base weight matrix in place; then reset.
+
+        Returns the number of rows merged.
+        """
+        merged = 0
+        for idx, slot in self._slots.id_to_slot.items():
+            if 0 <= idx < weight.shape[0]:
+                weight[idx] += self.a[slot] @ self.b
+                merged += 1
+        self.reset()
+        return merged
+
+
+class LoRACollection:
+    """One adapter per sparse field of a DLRM."""
+
+    def __init__(
+        self,
+        dims: list[int],
+        rank: int,
+        capacities: list[int],
+        seed: int = 0,
+    ) -> None:
+        if len(dims) != len(capacities):
+            raise ValueError("dims and capacities must align")
+        rng = np.random.default_rng(seed)
+        self.adapters = [
+            LoRAAdapter(dim, rank, cap, rng=rng)
+            for dim, cap in zip(dims, capacities)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.adapters)
+
+    def __getitem__(self, f: int) -> LoRAAdapter:
+        return self.adapters[f]
+
+    def __iter__(self):
+        return iter(self.adapters)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(ad.nbytes for ad in self.adapters)
+
+    @property
+    def num_active(self) -> int:
+        return sum(ad.num_active for ad in self.adapters)
+
+    def overlay(self, hot_filter=None):
+        """Embedding overlay closure for :meth:`repro.dlrm.DLRM.forward`.
+
+        Args:
+            hot_filter: optional callable ``(field, ids) -> bool mask``; only
+                hot ids get the LoRA adjustment (the paper's Hot Index
+                Filter short-circuits cold ids straight to the base table).
+        """
+
+        def _overlay(field: int, ids: np.ndarray, base_rows: np.ndarray):
+            adapter = self.adapters[field]
+            if hot_filter is None:
+                return adapter.apply_to(ids, base_rows)
+            mask = hot_filter(field, ids)
+            if not mask.any():
+                return base_rows
+            out = np.array(base_rows, dtype=np.float64, copy=True)
+            hot_ids = np.asarray(ids)[mask]
+            out[mask] = adapter.apply_to(hot_ids, out[mask])
+            return out
+
+        return _overlay
+
+    def reset(self) -> None:
+        for ad in self.adapters:
+            ad.reset()

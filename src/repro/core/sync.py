@@ -1,0 +1,254 @@
+"""Sparse data-parallel LoRA synchronization (Algorithm 3, Section IV-E).
+
+Each inference node (rank) trains its own LoRA replica on local traffic and
+tracks the *support* of its updates — the set of (field, row) indices it
+modified.  Every ``T_sync`` steps the ranks exchange supports, resolve write
+conflicts with the deterministic rank-priority rule (highest rank id wins),
+and broadcast the merged adapter state.  Between syncs replicas diverge —
+that is the eventual-consistency trade-off Fig. 9 quantifies.
+
+Communication cost is modelled with the tree-AllGather collective from
+:mod:`repro.cluster.collectives`, which is what gives Fig. 19 its O(log N)
+scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.collectives import CollectiveCostModel
+from ..cluster.network import INFINIBAND_EDR, NetworkLink
+from .trainer import LoRATrainer
+
+__all__ = [
+    "SyncReport",
+    "priority_merge",
+    "average_merge",
+    "SparseLoRASynchronizer",
+]
+
+
+@dataclass
+class SyncReport:
+    """Outcome of one synchronization round."""
+
+    round_id: int
+    merged_rows: int
+    bytes_exchanged: float
+    allgather_seconds: float
+    broadcast_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.allgather_seconds + self.broadcast_seconds
+
+
+def priority_merge(
+    per_rank_values: list[dict[int, np.ndarray]],
+) -> dict[int, np.ndarray]:
+    """Resolve index-level write conflicts by the max-rank rule.
+
+    Args:
+        per_rank_values: ``per_rank_values[r]`` maps a modified index to the
+            value rank ``r`` holds for it.
+
+    Returns:
+        the merged index -> value map where index ``i`` takes the value from
+        ``max{r | i in S_r}`` (Algorithm 3, line 11).
+    """
+    merged: dict[int, np.ndarray] = {}
+    for values in per_rank_values:  # ascending rank order; later overwrites
+        for idx, val in values.items():
+            merged[idx] = val
+    return merged
+
+
+def average_merge(
+    per_rank_values: list[dict[int, np.ndarray]],
+) -> dict[int, np.ndarray]:
+    """Ablation alternative: average conflicting writes instead of picking a
+    winner.  Requires same-shaped values across ranks for a given index."""
+    sums: dict[int, np.ndarray] = {}
+    counts: dict[int, int] = {}
+    for values in per_rank_values:
+        for idx, val in values.items():
+            if idx in sums and sums[idx].shape == val.shape:
+                sums[idx] = sums[idx] + val
+                counts[idx] += 1
+            else:
+                sums[idx] = val.copy()
+                counts[idx] = 1
+    return {idx: sums[idx] / counts[idx] for idx in sums}
+
+
+class SparseLoRASynchronizer:
+    """Coordinates LoRA replicas across inference nodes.
+
+    Args:
+        trainers: one :class:`LoRATrainer` per rank, *in rank order* (rank id
+            = list position, which drives merge priority).
+        sync_interval: steps between synchronization rounds (``T_sync``).
+        link: intra-cluster fabric for the cost model.
+    """
+
+    def __init__(
+        self,
+        trainers: list[LoRATrainer],
+        sync_interval: int = 64,
+        link: NetworkLink = INFINIBAND_EDR,
+        merge_policy: str = "priority",
+    ) -> None:
+        if not trainers:
+            raise ValueError("need at least one rank")
+        if sync_interval <= 0:
+            raise ValueError("sync interval must be positive")
+        if merge_policy not in ("priority", "average"):
+            raise ValueError("merge_policy must be 'priority' or 'average'")
+        self.merge_policy = merge_policy
+        self.trainers = trainers
+        self.sync_interval = sync_interval
+        self.cost = CollectiveCostModel(link)
+        self.num_fields = len(trainers[0].lora)
+        # S_r per field: indices modified since the last sync.
+        self._supports: list[list[set[int]]] = [
+            [set() for _ in range(self.num_fields)] for _ in trainers
+        ]
+        self.steps = 0
+        self.rounds = 0
+        self.reports: list[SyncReport] = []
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.trainers)
+
+    # -------------------------------------------------------------- training
+    def local_step(self, rank: int, dense, sparse_ids, labels) -> float:
+        """One local update on rank ``r``, tracking its support set."""
+        trainer = self.trainers[rank]
+        loss = trainer.train_on(dense, sparse_ids, labels)
+        for f in range(self.num_fields):
+            touched = np.unique(np.asarray(sparse_ids)[:, f])
+            self._supports[rank][f].update(int(i) for i in touched)
+        return loss
+
+    def step_all(self, batches) -> list[float]:
+        """Feed one batch per rank, then sync if the interval elapsed.
+
+        Args:
+            batches: sequence of (dense, sparse_ids, labels) per rank.
+        """
+        losses = [
+            self.local_step(r, *batch) for r, batch in enumerate(batches)
+        ]
+        self.steps += 1
+        if self.steps % self.sync_interval == 0:
+            self.sync()
+        return losses
+
+    # ------------------------------------------------------------------ sync
+    def _gather_rank_values(
+        self, field: int
+    ) -> list[dict[int, np.ndarray]]:
+        """Collect each rank's modified A rows for one field."""
+        out: list[dict[int, np.ndarray]] = []
+        for r, trainer in enumerate(self.trainers):
+            adapter = trainer.lora[field]
+            values: dict[int, np.ndarray] = {}
+            for idx in self._supports[r][field]:
+                slot = adapter.slot_of(idx)
+                if slot is not None:
+                    values[idx] = adapter.a[slot].copy()
+            out.append(values)
+        return out
+
+    def sync(self) -> SyncReport:
+        """One full Algorithm-3 round: gather, priority-merge, broadcast."""
+        self.rounds += 1
+        merged_rows = 0
+        bytes_per_rank = 0.0
+        # Highest rank that performed any update wins the dense B factors
+        # (B's "indices" are in every updating rank's support, so the
+        # max-rank rule selects the top updater).
+        top_rank = max(
+            (
+                r
+                for r in range(self.num_ranks)
+                if any(self._supports[r][f] for f in range(self.num_fields))
+            ),
+            default=None,
+        )
+        for f in range(self.num_fields):
+            rank_values = self._gather_rank_values(f)
+            merge_fn = (
+                priority_merge if self.merge_policy == "priority" else average_merge
+            )
+            merged = merge_fn(rank_values)
+            merged_rows += len(merged)
+            target_rank = max(
+                (t.lora[f].rank for t in self.trainers), default=1
+            )
+            row_bytes = target_rank * 8
+            bytes_per_rank += sum(len(v) for v in rank_values) * row_bytes / max(
+                self.num_ranks, 1
+            )
+            for trainer in self.trainers:
+                adapter = trainer.lora[f]
+                if adapter.rank != target_rank:
+                    adapter.resize_rank(target_rank)
+                if top_rank is not None:
+                    src_b = self.trainers[top_rank].lora[f].b
+                    adapter.b = src_b.copy()
+                for idx, value in merged.items():
+                    slot = adapter.activate(idx)
+                    if slot is None:
+                        continue
+                    v = value
+                    if v.shape[0] != target_rank:
+                        padded = np.zeros(target_rank)
+                        padded[: v.shape[0]] = v[:target_rank]
+                        v = padded
+                    adapter.a[slot] = v
+                trainer.hot_filter.mark(f, np.fromiter(merged, dtype=np.int64, count=len(merged)))
+        # The exchange is an aggregating tree: payload stays near the merged
+        # size at every level because replicas touch overlapping hot ids.
+        merged_bytes = bytes_per_rank * self.num_ranks
+        allgather_s = self.cost.tree_merge(self.num_ranks, merged_bytes)
+        broadcast_s = self.cost.broadcast_tree(self.num_ranks, merged_bytes)
+        for r in range(self.num_ranks):
+            for f in range(self.num_fields):
+                self._supports[r][f].clear()
+        report = SyncReport(
+            round_id=self.rounds,
+            merged_rows=merged_rows,
+            bytes_exchanged=bytes_per_rank * self.num_ranks,
+            allgather_seconds=allgather_s,
+            broadcast_seconds=broadcast_s,
+        )
+        self.reports.append(report)
+        return report
+
+    # -------------------------------------------------------------- analysis
+    def replica_divergence(self, field: int = 0) -> float:
+        """Max pairwise Frobenius gap between replicas' applied updates.
+
+        Zero right after a sync for the ids in the merged set; grows between
+        syncs — the consistency metric behind Fig. 9.
+        """
+        if self.num_ranks < 2:
+            return 0.0
+        ids = sorted(
+            set().union(
+                *(set(t.lora[field].active_ids.tolist()) for t in self.trainers)
+            )
+        )
+        if not ids:
+            return 0.0
+        ids_arr = np.array(ids, dtype=np.int64)
+        deltas = [t.lora[field].delta_rows(ids_arr) for t in self.trainers]
+        worst = 0.0
+        for i in range(len(deltas)):
+            for j in range(i + 1, len(deltas)):
+                worst = max(worst, float(np.linalg.norm(deltas[i] - deltas[j])))
+        return worst

@@ -1,0 +1,126 @@
+"""Request arrival processes for serving-load experiments.
+
+Inference latency SLAs are tail metrics, and tails are made by *bursts*:
+Section II-B calls out "unpredictable request bursts" as a core serving
+challenge.  This module generates request arrival timelines — Poisson base
+load modulated by the diurnal curve, with optional burst episodes — which
+the latency experiments consume to produce realistic queueing behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ArrivalConfig", "BurstEpisode", "RequestArrivalProcess"]
+
+
+@dataclass(frozen=True)
+class BurstEpisode:
+    """A transient load spike (flash crowd / retry storm)."""
+
+    start_s: float
+    duration_s: float
+    multiplier: float
+
+    def active(self, t: float | np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return (t >= self.start_s) & (t < self.start_s + self.duration_s)
+
+
+@dataclass
+class ArrivalConfig:
+    """Arrival-process parameters.
+
+    Attributes:
+        base_qps: mean arrival rate before modulation.
+        diurnal_amplitude: +-fraction of base rate over the day (0 = flat).
+        burst_rate_per_hour: expected burst episodes per hour.
+        burst_multiplier: mean load multiplier during a burst.
+        burst_duration_s: mean burst length.
+        seed: RNG seed.
+    """
+
+    base_qps: float = 2000.0
+    diurnal_amplitude: float = 0.3
+    burst_rate_per_hour: float = 2.0
+    burst_multiplier: float = 3.0
+    burst_duration_s: float = 20.0
+    seed: int = 0
+
+
+class RequestArrivalProcess:
+    """Generates arrival timestamps and interval counts."""
+
+    def __init__(self, config: ArrivalConfig | None = None) -> None:
+        self.config = config or ArrivalConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.bursts: list[BurstEpisode] = []
+
+    def _rate_at(self, t: np.ndarray, start_hour: float) -> np.ndarray:
+        cfg = self.config
+        hour = (start_hour + t / 3600.0) % 24.0
+        diurnal = 1.0 + cfg.diurnal_amplitude * np.sin(
+            2 * np.pi * (hour - 15.0) / 24.0
+        )
+        rate = cfg.base_qps * diurnal
+        for burst in self.bursts:
+            rate = np.where(burst.active(t), rate * burst.multiplier, rate)
+        return np.maximum(rate, 0.0)
+
+    def _draw_bursts(self, horizon_s: float) -> None:
+        cfg = self.config
+        expected = cfg.burst_rate_per_hour * horizon_s / 3600.0
+        count = self._rng.poisson(expected)
+        self.bursts = [
+            BurstEpisode(
+                start_s=float(self._rng.uniform(0, horizon_s)),
+                duration_s=float(
+                    self._rng.exponential(cfg.burst_duration_s)
+                ),
+                multiplier=float(
+                    1.0 + self._rng.exponential(cfg.burst_multiplier - 1.0)
+                ),
+            )
+            for _ in range(count)
+        ]
+
+    def counts_per_interval(
+        self,
+        horizon_s: float,
+        interval_s: float = 1.0,
+        start_hour: float = 12.0,
+        redraw_bursts: bool = True,
+    ) -> np.ndarray:
+        """Poisson request counts per interval over the horizon."""
+        if horizon_s <= 0 or interval_s <= 0:
+            raise ValueError("horizon and interval must be positive")
+        if redraw_bursts:
+            self._draw_bursts(horizon_s)
+        edges = np.arange(0.0, horizon_s, interval_s)
+        rates = self._rate_at(edges, start_hour)
+        return self._rng.poisson(rates * interval_s)
+
+    def batch_sizes(
+        self,
+        horizon_s: float,
+        batch_window_ms: float = 50.0,
+        start_hour: float = 12.0,
+    ) -> np.ndarray:
+        """Served-batch sizes when requests are micro-batched.
+
+        Production servers coalesce requests arriving within a small window
+        into one GPU pass; burstiness therefore shows up as *batch size*
+        variance, which feeds the latency model's per-batch cost.
+        """
+        counts = self.counts_per_interval(
+            horizon_s, interval_s=batch_window_ms / 1e3, start_hour=start_hour
+        )
+        return counts[counts > 0]
+
+    def peak_to_mean(self, horizon_s: float = 3600.0) -> float:
+        """Burstiness summary: peak over mean interval counts."""
+        counts = self.counts_per_interval(horizon_s)
+        mean = counts.mean()
+        return float(counts.max() / mean) if mean > 0 else 0.0

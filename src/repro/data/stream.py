@@ -1,0 +1,133 @@
+"""Inference-log ring buffer and batching utilities.
+
+Section IV-E: "we cache feature IDs and their associated labels from real-time
+user requests into a ring buffer with a 10-minute retention window", which
+becomes the training set of the inference-side LoRA trainer.  This module
+implements that buffer plus helpers to sample training mini-batches from it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .synthetic import Batch
+
+__all__ = ["RingBufferStats", "InferenceLogBuffer"]
+
+
+@dataclass
+class RingBufferStats:
+    """Occupancy metrics of the log buffer."""
+
+    num_batches: int
+    num_samples: int
+    oldest_ts: float
+    newest_ts: float
+    approx_bytes: int
+
+    @property
+    def span_seconds(self) -> float:
+        return max(0.0, self.newest_ts - self.oldest_ts)
+
+
+class InferenceLogBuffer:
+    """Time-windowed ring buffer of served (features, label) batches.
+
+    Entries older than ``retention_s`` relative to the newest insert are
+    evicted, matching the paper's 10-minute retention window.  An optional
+    ``max_samples`` bound emulates fixed memory capacity.
+    """
+
+    def __init__(
+        self, retention_s: float = 600.0, max_samples: int | None = None
+    ) -> None:
+        if retention_s <= 0:
+            raise ValueError("retention must be positive")
+        self.retention_s = retention_s
+        self.max_samples = max_samples
+        self._batches: deque[Batch] = deque()
+        self._num_samples = 0
+        self.total_appended = 0
+        self.total_evicted = 0
+
+    def __len__(self) -> int:
+        return self._num_samples
+
+    def append(self, batch: Batch) -> None:
+        """Insert a served batch; evicts anything outside the window."""
+        self._batches.append(batch)
+        self._num_samples += batch.size
+        self.total_appended += batch.size
+        self._evict(batch.timestamp)
+
+    def _evict(self, now: float) -> None:
+        while self._batches and (
+            now - self._batches[0].timestamp > self.retention_s
+            or (
+                self.max_samples is not None
+                and self._num_samples > self.max_samples
+            )
+        ):
+            old = self._batches.popleft()
+            self._num_samples -= old.size
+            self.total_evicted += old.size
+
+    def stats(self, bytes_per_sample: int = 250) -> RingBufferStats:
+        if not self._batches:
+            return RingBufferStats(0, 0, 0.0, 0.0, 0)
+        return RingBufferStats(
+            num_batches=len(self._batches),
+            num_samples=self._num_samples,
+            oldest_ts=self._batches[0].timestamp,
+            newest_ts=self._batches[-1].timestamp,
+            approx_bytes=self._num_samples * bytes_per_sample,
+        )
+
+    # --------------------------------------------------------------- sampling
+    def sample_minibatch(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Batch | None:
+        """Uniformly sample ``batch_size`` examples across the window.
+
+        Returns ``None`` when the buffer is empty.  Sampling is with
+        replacement across the concatenated window, which matches how an
+        online trainer re-visits recent traffic.
+        """
+        if not self._batches:
+            return None
+        sizes = np.array([b.size for b in self._batches])
+        cum = np.cumsum(sizes)
+        total = int(cum[-1])
+        picks = rng.integers(0, total, size=batch_size)
+        batch_idx = np.searchsorted(cum, picks, side="right")
+        within = picks - np.concatenate(([0], cum[:-1]))[batch_idx]
+        dense = np.stack(
+            [self._batches[b].dense[i] for b, i in zip(batch_idx, within)]
+        )
+        sparse = np.stack(
+            [self._batches[b].sparse_ids[i] for b, i in zip(batch_idx, within)]
+        )
+        labels = np.array(
+            [self._batches[b].labels[i] for b, i in zip(batch_idx, within)]
+        )
+        newest = self._batches[-1].timestamp
+        return Batch(
+            timestamp=newest, dense=dense, sparse_ids=sparse, labels=labels
+        )
+
+    def drain_window(self) -> Batch | None:
+        """Concatenate the whole window into one batch (epoch-style replay)."""
+        if not self._batches:
+            return None
+        dense = np.concatenate([b.dense for b in self._batches])
+        sparse = np.concatenate([b.sparse_ids for b in self._batches])
+        labels = np.concatenate([b.labels for b in self._batches])
+        return Batch(
+            timestamp=self._batches[-1].timestamp,
+            dense=dense,
+            sparse_ids=sparse,
+            labels=labels,
+        )

@@ -1,0 +1,43 @@
+"""DLRM substrate: model, embeddings, optimizers, and metrics.
+
+This subpackage is a from-scratch NumPy implementation of the Deep Learning
+Recommendation Model (Naumov et al.) that the paper's serving system hosts.
+"""
+
+from .checkpoint import Checkpoint, embedding_drift, model_drift
+from .hashing import FeatureHasher, HashingConfig, collision_rate
+from .multihot import MultiHotField, PooledFieldLayer
+from .embedding import EmbeddingBagCollection, EmbeddingTable, SparseRowGrad
+from .interaction import DotInteraction
+from .metrics import StreamingAUC, auc_roc, calibration_ratio, log_loss
+from .mlp import MLP, DenseGrads
+from .model import DLRM, DLRMConfig, ForwardCache, TrainStepResult, sigmoid
+from .optim import SGD, RowwiseAdagrad
+
+__all__ = [
+    "DLRM",
+    "DLRMConfig",
+    "ForwardCache",
+    "TrainStepResult",
+    "sigmoid",
+    "EmbeddingTable",
+    "EmbeddingBagCollection",
+    "SparseRowGrad",
+    "DotInteraction",
+    "MLP",
+    "DenseGrads",
+    "SGD",
+    "RowwiseAdagrad",
+    "Checkpoint",
+    "FeatureHasher",
+    "HashingConfig",
+    "collision_rate",
+    "MultiHotField",
+    "PooledFieldLayer",
+    "model_drift",
+    "embedding_drift",
+    "auc_roc",
+    "log_loss",
+    "calibration_ratio",
+    "StreamingAUC",
+]

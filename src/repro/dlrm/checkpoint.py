@@ -1,0 +1,74 @@
+"""Checkpointing and model-drift utilities.
+
+The paper's tiered update strategy (Fig. 8) periodically re-anchors serving
+replicas to a training-cluster checkpoint to bound *model drift* — the
+accumulated divergence between locally-adapted and centrally-trained
+parameters.  This module provides checkpoint save/restore plus drift metrics
+used by the accuracy-timeline experiments (Fig. 15).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import DLRM
+
+__all__ = ["Checkpoint", "model_drift", "embedding_drift"]
+
+
+@dataclass
+class Checkpoint:
+    """An immutable parameter snapshot with a version number."""
+
+    version: int
+    state: dict[str, np.ndarray]
+
+    @classmethod
+    def capture(cls, model: DLRM, version: int) -> "Checkpoint":
+        return cls(version=version, state=model.state_dict())
+
+    def restore(self, model: DLRM) -> None:
+        model.load_state_dict(self.state)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(arr.nbytes for arr in self.state.values())
+
+    def to_bytes(self) -> bytes:
+        """Serialise with :func:`numpy.savez` (round-trips exactly)."""
+        buf = io.BytesIO()
+        np.savez(buf, **self.state, __version__=np.array([self.version]))
+        return buf.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Checkpoint":
+        with np.load(io.BytesIO(blob)) as data:
+            version = int(data["__version__"][0])
+            state = {k: data[k] for k in data.files if k != "__version__"}
+        return cls(version=version, state=state)
+
+
+def embedding_drift(a: DLRM, b: DLRM) -> float:
+    """Mean per-row L2 distance between the embedding tables of two models."""
+    total = 0.0
+    rows = 0
+    for ta, tb in zip(a.embeddings, b.embeddings):
+        if ta.weight.shape != tb.weight.shape:
+            raise ValueError("models have mismatched table shapes")
+        total += float(np.linalg.norm(ta.weight - tb.weight, axis=1).sum())
+        rows += ta.num_rows
+    return total / rows if rows else 0.0
+
+
+def model_drift(a: DLRM, b: DLRM) -> dict[str, float]:
+    """Drift broken down by component (embeddings vs dense layers)."""
+    emb = embedding_drift(a, b)
+    dense_sq = 0.0
+    for wa, wb in zip(a.bottom.weights, b.bottom.weights):
+        dense_sq += float(((wa - wb) ** 2).sum())
+    for wa, wb in zip(a.top.weights, b.top.weights):
+        dense_sq += float(((wa - wb) ** 2).sum())
+    return {"embedding_row_l2": emb, "dense_l2": float(np.sqrt(dense_sq))}

@@ -1,0 +1,269 @@
+"""Embedding tables for DLRM sparse features.
+
+An :class:`EmbeddingTable` maps categorical IDs to dense vectors and supports
+the row-wise sparse updates that dominate DLRM training traffic (Section II-A
+of the paper).  Multi-hot inputs are pooled (mean or sum) into a single vector
+per sample, mirroring TorchRec's ``EmbeddingBagCollection`` semantics.
+
+Gradients are returned as :class:`SparseRowGrad` objects — (indices, rows)
+pairs — because production DLRMs only touch the rows present in a mini-batch.
+That sparsity is exactly what makes delta-style synchronization (and
+LiveUpdate's low-rank adapters) possible, so the substrate preserves it
+instead of materialising dense ``|V| x d`` gradient tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SparseRowGrad",
+    "EmbeddingTable",
+    "EmbeddingBagCollection",
+]
+
+
+@dataclass
+class SparseRowGrad:
+    """Row-sparse gradient of one embedding table.
+
+    Attributes:
+        indices: 1-D int64 array of *unique* row ids touched by the batch.
+        rows: ``(len(indices), d)`` float array; ``rows[i]`` is the gradient
+            of table row ``indices[i]`` summed over the batch.
+    """
+
+    indices: np.ndarray
+    rows: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.rows = np.asarray(self.rows, dtype=np.float64)
+        if self.indices.ndim != 1:
+            raise ValueError("indices must be 1-D")
+        if self.rows.ndim != 2 or self.rows.shape[0] != self.indices.shape[0]:
+            raise ValueError("rows must be (len(indices), d)")
+
+    @property
+    def nnz_rows(self) -> int:
+        """Number of distinct rows carrying gradient."""
+        return int(self.indices.shape[0])
+
+    def to_dense(self, num_rows: int) -> np.ndarray:
+        """Materialise the dense ``(num_rows, d)`` gradient (tests/analysis)."""
+        dense = np.zeros((num_rows, self.rows.shape[1]))
+        dense[self.indices] = self.rows
+        return dense
+
+    def frobenius_norm(self) -> float:
+        """Frobenius norm of the (implicitly dense) gradient."""
+        return float(np.linalg.norm(self.rows))
+
+
+class EmbeddingTable:
+    """One embedding table ``W in R^{|V| x d}`` for a categorical field.
+
+    Args:
+        num_rows: vocabulary size ``|V|``.
+        dim: embedding dimension ``d``.
+        rng: NumPy generator used for initialisation.
+        init_scale: stddev of the uniform init, following DLRM's
+            ``U(-1/sqrt(|V|), 1/sqrt(|V|))`` convention when ``None``.
+        name: optional label used in diagnostics.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+        init_scale: float | None = None,
+        name: str = "",
+    ) -> None:
+        if num_rows <= 0 or dim <= 0:
+            raise ValueError("num_rows and dim must be positive")
+        rng = rng or np.random.default_rng(0)
+        scale = init_scale if init_scale is not None else 1.0 / np.sqrt(num_rows)
+        self.weight = rng.uniform(-scale, scale, size=(num_rows, dim))
+        self.name = name or f"emt_{num_rows}x{dim}"
+        # Row-level bookkeeping used by delta-update strategies and by the
+        # Fig. 3a experiment (fraction of rows touched per window).
+        self._touched: set[int] = set()
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def num_rows(self) -> int:
+        return int(self.weight.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.weight.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of the table in bytes."""
+        return int(self.weight.nbytes)
+
+    # ---------------------------------------------------------------- forward
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Single-hot lookup: returns ``(batch, d)`` rows for ``ids``."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_rows):
+            raise IndexError(f"embedding id out of range for table {self.name}")
+        return self.weight[ids]
+
+    def lookup_pooled(
+        self, ids: np.ndarray, offsets: np.ndarray, mode: str = "mean"
+    ) -> np.ndarray:
+        """Multi-hot lookup with pooling (EmbeddingBag semantics).
+
+        Args:
+            ids: flat 1-D array of ids for the whole batch.
+            offsets: ``(batch + 1,)`` array; sample ``b`` owns
+                ``ids[offsets[b]:offsets[b + 1]]``.  Empty bags pool to zero.
+            mode: ``"mean"`` or ``"sum"``.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        batch = offsets.shape[0] - 1
+        out = np.zeros((batch, self.dim))
+        rows = self.lookup(ids) if ids.size else np.zeros((0, self.dim))
+        for b in range(batch):
+            lo, hi = offsets[b], offsets[b + 1]
+            if hi <= lo:
+                continue
+            seg = rows[lo:hi]
+            out[b] = seg.sum(axis=0)
+            if mode == "mean":
+                out[b] /= hi - lo
+        return out
+
+    # --------------------------------------------------------------- backward
+    def grad_from_output(
+        self, ids: np.ndarray, grad_out: np.ndarray
+    ) -> SparseRowGrad:
+        """Accumulate per-sample output gradients into unique row gradients."""
+        ids = np.asarray(ids, dtype=np.int64)
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        uniq, inverse = np.unique(ids, return_inverse=True)
+        rows = np.zeros((uniq.shape[0], self.dim))
+        np.add.at(rows, inverse, grad_out)
+        return SparseRowGrad(uniq, rows)
+
+    def grad_from_pooled(
+        self,
+        ids: np.ndarray,
+        offsets: np.ndarray,
+        grad_out: np.ndarray,
+        mode: str = "mean",
+    ) -> SparseRowGrad:
+        """Backward of :meth:`lookup_pooled`.
+
+        Each id in bag ``b`` receives ``grad_out[b]`` (divided by bag size for
+        mean pooling), then duplicates are accumulated.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        per_id = np.zeros((ids.shape[0], self.dim))
+        batch = offsets.shape[0] - 1
+        for b in range(batch):
+            lo, hi = offsets[b], offsets[b + 1]
+            if hi <= lo:
+                continue
+            g = grad_out[b]
+            if mode == "mean":
+                g = g / (hi - lo)
+            per_id[lo:hi] = g
+        uniq, inverse = np.unique(ids, return_inverse=True)
+        rows = np.zeros((uniq.shape[0], self.dim))
+        np.add.at(rows, inverse, per_id)
+        return SparseRowGrad(uniq, rows)
+
+    # ----------------------------------------------------------------- update
+    def apply_sparse_update(self, grad: SparseRowGrad, lr: float) -> None:
+        """Plain SGD row update; marks rows as touched for delta tracking."""
+        self.weight[grad.indices] -= lr * grad.rows
+        self._touched.update(int(i) for i in grad.indices)
+
+    def assign_rows(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Overwrite specific rows (used when applying pulled deltas)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        self.weight[indices] = rows
+        self._touched.update(int(i) for i in indices)
+
+    # ------------------------------------------------------- delta accounting
+    def touched_rows(self) -> np.ndarray:
+        """Sorted ids of rows modified since the last :meth:`reset_touched`."""
+        return np.array(sorted(self._touched), dtype=np.int64)
+
+    def touched_fraction(self) -> float:
+        """Fraction of the table modified since the last reset (Fig. 3a)."""
+        return len(self._touched) / self.num_rows
+
+    def reset_touched(self) -> None:
+        self._touched.clear()
+
+    def copy(self) -> "EmbeddingTable":
+        """Deep copy (weights only; touch log starts clean)."""
+        dup = EmbeddingTable.__new__(EmbeddingTable)
+        dup.weight = self.weight.copy()
+        dup.name = self.name
+        dup._touched = set()
+        return dup
+
+
+@dataclass
+class EmbeddingBagCollection:
+    """Ordered collection of embedding tables, one per sparse feature field."""
+
+    tables: list[EmbeddingTable] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self):
+        return iter(self.tables)
+
+    def __getitem__(self, i: int) -> EmbeddingTable:
+        return self.tables[i]
+
+    @property
+    def total_rows(self) -> int:
+        return sum(t.num_rows for t in self.tables)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(t.nbytes for t in self.tables)
+
+    def lookup_all(self, sparse_ids: np.ndarray) -> list[np.ndarray]:
+        """Single-hot lookup across all fields.
+
+        Args:
+            sparse_ids: ``(batch, num_fields)`` int array.
+
+        Returns:
+            list of ``(batch, d)`` arrays, one per field.
+        """
+        sparse_ids = np.asarray(sparse_ids, dtype=np.int64)
+        if sparse_ids.shape[1] != len(self.tables):
+            raise ValueError(
+                f"expected {len(self.tables)} sparse fields, "
+                f"got {sparse_ids.shape[1]}"
+            )
+        return [t.lookup(sparse_ids[:, f]) for f, t in enumerate(self.tables)]
+
+    def touched_fraction(self) -> float:
+        """Row-weighted average touched fraction across tables."""
+        total = self.total_rows
+        touched = sum(len(t._touched) for t in self.tables)
+        return touched / total if total else 0.0
+
+    def reset_touched(self) -> None:
+        for t in self.tables:
+            t.reset_touched()
+
+    def copy(self) -> "EmbeddingBagCollection":
+        return EmbeddingBagCollection([t.copy() for t in self.tables])

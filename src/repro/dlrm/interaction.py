@@ -1,0 +1,87 @@
+"""Feature-interaction layer for DLRM.
+
+DLRM combines the bottom-MLP output with all embedding vectors via pairwise
+dot products (Fig. 1 in the paper).  Given ``m`` vectors of dimension ``d``
+per sample, the layer emits the ``m * (m - 1) / 2`` distinct dot products,
+concatenated with the dense vector itself — exactly the ``dot`` interaction
+of the reference DLRM implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DotInteraction"]
+
+
+class DotInteraction:
+    """Pairwise dot-product interaction with dense passthrough."""
+
+    def __init__(self, num_features: int, dim: int) -> None:
+        """``num_features`` counts the dense vector plus every sparse field."""
+        if num_features < 2:
+            raise ValueError("interaction needs at least two feature vectors")
+        self.num_features = num_features
+        self.dim = dim
+        # Upper-triangle index pairs, fixed ordering shared by fwd/bwd.
+        self._li, self._lj = np.triu_indices(num_features, k=1)
+
+    @property
+    def output_dim(self) -> int:
+        """Width of the interaction output: dense ``d`` + C(m, 2) pairs."""
+        m = self.num_features
+        return self.dim + m * (m - 1) // 2
+
+    def forward(
+        self, dense: np.ndarray, embeddings: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compute interactions.
+
+        Args:
+            dense: ``(batch, d)`` bottom-MLP output.
+            embeddings: list of ``(batch, d)`` arrays, one per sparse field.
+
+        Returns:
+            ``(output, stacked)`` where ``output`` is ``(batch, output_dim)``
+            and ``stacked`` is the ``(batch, m, d)`` cache for backward.
+        """
+        feats = [np.asarray(dense, dtype=np.float64)]
+        feats.extend(np.asarray(e, dtype=np.float64) for e in embeddings)
+        if len(feats) != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} feature vectors, got {len(feats)}"
+            )
+        stacked = np.stack(feats, axis=1)  # (batch, m, d)
+        gram = stacked @ stacked.transpose(0, 2, 1)  # (batch, m, m)
+        pairs = gram[:, self._li, self._lj]  # (batch, C(m,2))
+        out = np.concatenate([stacked[:, 0, :], pairs], axis=1)
+        return out, stacked
+
+    def backward(
+        self, stacked: np.ndarray, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Backward pass.
+
+        Args:
+            stacked: cache from :meth:`forward`.
+            grad_out: ``(batch, output_dim)`` upstream gradient.
+
+        Returns:
+            ``(grad_dense, grad_embeddings)`` matching forward's inputs.
+        """
+        batch, m, d = stacked.shape
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_dense_passthrough = grad_out[:, : self.dim]
+        grad_pairs = grad_out[:, self.dim :]  # (batch, C(m,2))
+
+        # d(x_i . x_j)/dx_i = x_j and vice versa: scatter pair grads into a
+        # symmetric (m, m) matrix per sample, then one batched matmul.
+        gram_grad = np.zeros((batch, m, m))
+        gram_grad[:, self._li, self._lj] = grad_pairs
+        gram_grad[:, self._lj, self._li] = grad_pairs
+        grad_stacked = gram_grad @ stacked  # (batch, m, d)
+        grad_stacked[:, 0, :] += grad_dense_passthrough
+
+        grad_dense = grad_stacked[:, 0, :]
+        grad_embeddings = [grad_stacked[:, f, :] for f in range(1, m)]
+        return grad_dense, grad_embeddings

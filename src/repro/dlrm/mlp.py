@@ -1,0 +1,126 @@
+"""Dense multi-layer perceptrons used for DLRM's bottom and top networks.
+
+Implements exact forward/backward passes in NumPy with ReLU hidden layers and
+an optional sigmoid-free final layer (the loss applies the sigmoid).  Kept
+deliberately simple: DLRM's dense parts are small compared to the embedding
+tables, and the paper freezes them during inference-side LoRA training anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DenseGrads", "MLP"]
+
+
+@dataclass
+class DenseGrads:
+    """Gradients for one MLP: per-layer weight and bias arrays."""
+
+    weights: list[np.ndarray]
+    biases: list[np.ndarray]
+
+    def scaled(self, factor: float) -> "DenseGrads":
+        return DenseGrads(
+            [w * factor for w in self.weights], [b * factor for b in self.biases]
+        )
+
+    def global_norm(self) -> float:
+        sq = sum(float((w ** 2).sum()) for w in self.weights)
+        sq += sum(float((b ** 2).sum()) for b in self.biases)
+        return float(np.sqrt(sq))
+
+
+class MLP:
+    """Fully connected network ``dims[0] -> dims[1] -> ... -> dims[-1]``.
+
+    Hidden activations are ReLU; the output layer is linear unless
+    ``final_relu`` is set (DLRM's bottom MLP conventionally ends in ReLU so
+    dense features live in the same non-negative space as embeddings).
+    """
+
+    def __init__(
+        self,
+        dims: list[int],
+        rng: np.random.Generator | None = None,
+        final_relu: bool = False,
+    ) -> None:
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        rng = rng or np.random.default_rng(0)
+        self.dims = list(dims)
+        self.final_relu = final_relu
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            # He initialisation for the ReLU stack.
+            std = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, std, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    @property
+    def num_params(self) -> int:
+        return sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Run the network; returns output and the activation cache.
+
+        The cache holds the *input* of every layer (post-activation of the
+        previous one) followed by the pre-activation of the final layer, which
+        is what :meth:`backward` needs.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        cache = [x]
+        h = x
+        for layer, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            is_last = layer == self.num_layers - 1
+            h = np.maximum(z, 0.0) if (not is_last or self.final_relu) else z
+            cache.append(h)
+        return h, cache
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)[0]
+
+    def backward(
+        self, cache: list[np.ndarray], grad_out: np.ndarray
+    ) -> tuple[np.ndarray, DenseGrads]:
+        """Backprop ``grad_out`` through the cached forward pass.
+
+        Returns the gradient w.r.t. the network input and parameter grads.
+        """
+        grad_w = [np.zeros_like(w) for w in self.weights]
+        grad_b = [np.zeros_like(b) for b in self.biases]
+        g = np.asarray(grad_out, dtype=np.float64)
+        for layer in range(self.num_layers - 1, -1, -1):
+            h_out = cache[layer + 1]
+            h_in = cache[layer]
+            is_last = layer == self.num_layers - 1
+            if not is_last or self.final_relu:
+                # ReLU derivative via the cached post-activation.
+                g = g * (h_out > 0.0)
+            grad_w[layer] = h_in.T @ g
+            grad_b[layer] = g.sum(axis=0)
+            g = g @ self.weights[layer].T
+        return g, DenseGrads(grad_w, grad_b)
+
+    def apply_grads(self, grads: DenseGrads, lr: float) -> None:
+        """In-place SGD step."""
+        for w, gw in zip(self.weights, grads.weights):
+            w -= lr * gw
+        for b, gb in zip(self.biases, grads.biases):
+            b -= lr * gb
+
+    def copy(self) -> "MLP":
+        dup = MLP.__new__(MLP)
+        dup.dims = list(self.dims)
+        dup.final_relu = self.final_relu
+        dup.weights = [w.copy() for w in self.weights]
+        dup.biases = [b.copy() for b in self.biases]
+        return dup

@@ -1,0 +1,277 @@
+"""The DLRM model: embeddings + bottom MLP + dot interaction + top MLP.
+
+The model follows Fig. 1 of the paper (and Naumov et al.'s reference DLRM):
+
+* dense features -> bottom MLP -> a ``d``-dimensional dense vector,
+* sparse features -> per-field embedding lookup,
+* dense vector + embeddings -> pairwise dot interaction,
+* interaction output -> top MLP -> logit -> sigmoid -> CTR.
+
+Training minimises binary cross-entropy; the backward pass produces row-sparse
+embedding gradients (the raw material of the paper's low-rank analysis) plus
+dense grads for both MLPs.
+
+The forward path accepts an *embedding overlay*: a callable that may adjust
+looked-up rows.  LiveUpdate uses this hook to serve ``W_base[i] + A[i] B``
+for hot ids without mutating the base table (Section IV-A, inference path
+step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .embedding import EmbeddingBagCollection, EmbeddingTable, SparseRowGrad
+from .interaction import DotInteraction
+from .mlp import MLP, DenseGrads
+
+__all__ = ["DLRMConfig", "ForwardCache", "TrainStepResult", "DLRM", "sigmoid"]
+
+# Overlay signature: (field_index, ids, base_rows) -> possibly adjusted rows.
+EmbeddingOverlay = Callable[[int, np.ndarray, np.ndarray], np.ndarray]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    z = np.asarray(z, dtype=np.float64)
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+@dataclass
+class DLRMConfig:
+    """Hyper-parameters of a DLRM instance.
+
+    Attributes:
+        num_dense: number of continuous input features.
+        embedding_dim: shared dimension ``d`` of every table.
+        table_sizes: vocabulary size per sparse field.
+        bottom_mlp: hidden sizes of the bottom MLP (output forced to ``d``).
+        top_mlp: hidden sizes of the top MLP (output forced to 1 logit).
+        seed: RNG seed for parameter init.
+    """
+
+    num_dense: int = 4
+    embedding_dim: int = 16
+    table_sizes: tuple[int, ...] = (1000, 1000, 500)
+    bottom_mlp: tuple[int, ...] = (32, 16)
+    top_mlp: tuple[int, ...] = (64, 32)
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_dense <= 0 or self.embedding_dim <= 0:
+            raise ValueError("num_dense and embedding_dim must be positive")
+        if not self.table_sizes:
+            raise ValueError("at least one sparse field is required")
+
+
+@dataclass
+class ForwardCache:
+    """Everything backward needs from a forward pass."""
+
+    dense_in: np.ndarray
+    sparse_ids: np.ndarray
+    bottom_cache: list[np.ndarray]
+    stacked: np.ndarray
+    top_cache: list[np.ndarray]
+    logits: np.ndarray
+    probs: np.ndarray
+
+
+@dataclass
+class TrainStepResult:
+    """Outputs of one mini-batch training step."""
+
+    loss: float
+    probs: np.ndarray
+    embedding_grads: list[SparseRowGrad]
+    bottom_grads: DenseGrads
+    top_grads: DenseGrads
+
+
+class DLRM:
+    """A complete DLRM with exact NumPy forward/backward."""
+
+    def __init__(self, config: DLRMConfig) -> None:
+        config.validate()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        d = config.embedding_dim
+        self.embeddings = EmbeddingBagCollection(
+            [
+                EmbeddingTable(size, d, rng=rng, name=f"table_{f}")
+                for f, size in enumerate(config.table_sizes)
+            ]
+        )
+        self.bottom = MLP(
+            [config.num_dense, *config.bottom_mlp, d], rng=rng, final_relu=True
+        )
+        num_features = 1 + len(config.table_sizes)
+        self.interaction = DotInteraction(num_features, d)
+        self.top = MLP([self.interaction.output_dim, *config.top_mlp, 1], rng=rng)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_sparse_fields(self) -> int:
+        return len(self.embeddings)
+
+    @property
+    def embedding_bytes(self) -> int:
+        return self.embeddings.nbytes
+
+    @property
+    def dense_params(self) -> int:
+        return self.bottom.num_params + self.top.num_params
+
+    # ---------------------------------------------------------------- forward
+    def forward(
+        self,
+        dense: np.ndarray,
+        sparse_ids: np.ndarray,
+        overlay: EmbeddingOverlay | None = None,
+    ) -> ForwardCache:
+        """Full forward pass returning probabilities and the backward cache.
+
+        Args:
+            dense: ``(batch, num_dense)`` continuous features.
+            sparse_ids: ``(batch, num_fields)`` categorical ids.
+            overlay: optional per-field adjustment applied to looked-up rows
+                (LiveUpdate's hot-id LoRA path).
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        sparse_ids = np.asarray(sparse_ids, dtype=np.int64)
+        bottom_out, bottom_cache = self.bottom.forward(dense)
+        emb = []
+        for f, table in enumerate(self.embeddings):
+            rows = table.lookup(sparse_ids[:, f])
+            if overlay is not None:
+                rows = overlay(f, sparse_ids[:, f], rows)
+            emb.append(rows)
+        inter_out, stacked = self.interaction.forward(bottom_out, emb)
+        logits, top_cache = self.top.forward(inter_out)
+        probs = sigmoid(logits[:, 0])
+        return ForwardCache(
+            dense_in=dense,
+            sparse_ids=sparse_ids,
+            bottom_cache=bottom_cache,
+            stacked=stacked,
+            top_cache=top_cache,
+            logits=logits,
+            probs=probs,
+        )
+
+    def predict(
+        self,
+        dense: np.ndarray,
+        sparse_ids: np.ndarray,
+        overlay: EmbeddingOverlay | None = None,
+    ) -> np.ndarray:
+        """Inference-only path: returns ``(batch,)`` click probabilities."""
+        return self.forward(dense, sparse_ids, overlay=overlay).probs
+
+    # --------------------------------------------------------------- backward
+    def backward(
+        self, cache: ForwardCache, labels: np.ndarray
+    ) -> TrainStepResult:
+        """BCE backward pass from a cached forward."""
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        batch = labels.shape[0]
+        probs = cache.probs
+        eps = 1e-12
+        loss = float(
+            -(
+                labels * np.log(probs + eps)
+                + (1 - labels) * np.log(1 - probs + eps)
+            ).mean()
+        )
+        # dL/dlogit for sigmoid + BCE, averaged over the batch.
+        grad_logit = ((probs - labels) / batch)[:, None]
+        grad_inter, top_grads = self.top.backward(cache.top_cache, grad_logit)
+        grad_dense_vec, grad_embs = self.interaction.backward(
+            cache.stacked, grad_inter
+        )
+        _, bottom_grads = self.bottom.backward(cache.bottom_cache, grad_dense_vec)
+        emb_grads = [
+            table.grad_from_output(cache.sparse_ids[:, f], grad_embs[f])
+            for f, table in enumerate(self.embeddings)
+        ]
+        return TrainStepResult(
+            loss=loss,
+            probs=probs,
+            embedding_grads=emb_grads,
+            bottom_grads=bottom_grads,
+            top_grads=top_grads,
+        )
+
+    def loss_and_grads(
+        self, dense: np.ndarray, sparse_ids: np.ndarray, labels: np.ndarray
+    ) -> TrainStepResult:
+        """Convenience: forward + backward without applying updates."""
+        return self.backward(self.forward(dense, sparse_ids), labels)
+
+    def train_step(
+        self,
+        dense: np.ndarray,
+        sparse_ids: np.ndarray,
+        labels: np.ndarray,
+        optimizer,
+        update_dense: bool = True,
+    ) -> TrainStepResult:
+        """One SGD/Adagrad step over a mini-batch.
+
+        Args:
+            optimizer: object with ``step_sparse(table, grad)`` and
+                ``step_dense(mlp, grads)`` methods.
+            update_dense: set ``False`` to freeze MLPs (the paper's
+                inference-side trainer only adapts embeddings).
+        """
+        result = self.loss_and_grads(dense, sparse_ids, labels)
+        for table, grad in zip(self.embeddings, result.embedding_grads):
+            optimizer.step_sparse(table, grad)
+        if update_dense:
+            optimizer.step_dense(self.bottom, result.bottom_grads)
+            optimizer.step_dense(self.top, result.top_grads)
+        return result
+
+    # -------------------------------------------------------------- lifecycle
+    def copy(self) -> "DLRM":
+        """Deep copy used to fork training-cluster vs inference replicas."""
+        dup = DLRM.__new__(DLRM)
+        dup.config = self.config
+        dup.embeddings = self.embeddings.copy()
+        dup.bottom = self.bottom.copy()
+        dup.top = self.top.copy()
+        dup.interaction = DotInteraction(
+            self.interaction.num_features, self.interaction.dim
+        )
+        return dup
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat parameter snapshot (checkpointing / drift measurement)."""
+        state: dict[str, np.ndarray] = {}
+        for f, table in enumerate(self.embeddings):
+            state[f"embeddings.{f}.weight"] = table.weight.copy()
+        for i, (w, b) in enumerate(zip(self.bottom.weights, self.bottom.biases)):
+            state[f"bottom.{i}.weight"] = w.copy()
+            state[f"bottom.{i}.bias"] = b.copy()
+        for i, (w, b) in enumerate(zip(self.top.weights, self.top.biases)):
+            state[f"top.{i}.weight"] = w.copy()
+            state[f"top.{i}.bias"] = b.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for f, table in enumerate(self.embeddings):
+            table.weight[...] = state[f"embeddings.{f}.weight"]
+        for i in range(self.bottom.num_layers):
+            self.bottom.weights[i][...] = state[f"bottom.{i}.weight"]
+            self.bottom.biases[i][...] = state[f"bottom.{i}.bias"]
+        for i in range(self.top.num_layers):
+            self.top.weights[i][...] = state[f"top.{i}.weight"]
+            self.top.biases[i][...] = state[f"top.{i}.bias"]

@@ -1,0 +1,126 @@
+"""Multi-hot sparse-feature support.
+
+Section II-A: "for multi-hot inputs, embeddings are pooled (e.g., averaged)
+to form a single vector."  Categorical fields like *watched videos* or
+*liked pages* carry a variable-length bag of ids per sample; this module
+provides the bag container plus a pooled forward/backward path that plugs
+into the same interaction/top-MLP stack as single-hot fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .embedding import EmbeddingTable, SparseRowGrad
+
+__all__ = ["MultiHotField", "PooledFieldLayer"]
+
+
+@dataclass
+class MultiHotField:
+    """A batch of variable-length id bags for one categorical field.
+
+    Attributes:
+        ids: flat int array of all ids in the batch.
+        offsets: ``(batch + 1,)`` boundaries; sample ``b`` owns
+            ``ids[offsets[b]:offsets[b+1]]``.
+    """
+
+    ids: np.ndarray
+    offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        if self.offsets.ndim != 1 or self.offsets.size < 1:
+            raise ValueError("offsets must be a 1-D array with >= 1 entry")
+        if self.offsets[0] != 0 or self.offsets[-1] != self.ids.size:
+            raise ValueError("offsets must start at 0 and end at len(ids)")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.offsets.size - 1)
+
+    def bag_sizes(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    @classmethod
+    def from_lists(cls, bags: list[list[int]]) -> "MultiHotField":
+        """Build from a list of per-sample id lists."""
+        ids = np.array(
+            [i for bag in bags for i in bag], dtype=np.int64
+        )
+        offsets = np.zeros(len(bags) + 1, dtype=np.int64)
+        np.cumsum([len(b) for b in bags], out=offsets[1:])
+        return cls(ids=ids, offsets=offsets)
+
+    @classmethod
+    def sample(
+        cls,
+        sampler,
+        batch_size: int,
+        mean_bag: float,
+        rng: np.random.Generator,
+        max_bag: int = 32,
+    ) -> "MultiHotField":
+        """Draw Poisson-sized bags of Zipf-distributed ids."""
+        sizes = np.clip(rng.poisson(mean_bag, size=batch_size), 1, max_bag)
+        ids = sampler.sample(int(sizes.sum()))
+        offsets = np.zeros(batch_size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        return cls(ids=ids, offsets=offsets)
+
+
+class PooledFieldLayer:
+    """Forward/backward for one multi-hot field over an embedding table.
+
+    The pooled vector feeds the interaction layer exactly like a single-hot
+    embedding; the backward pass spreads the output gradient back over the
+    bag (divided by bag size for mean pooling) and returns the row-sparse
+    gradient that update strategies and the LoRA trainer consume.
+    """
+
+    def __init__(self, table: EmbeddingTable, mode: str = "mean") -> None:
+        if mode not in ("mean", "sum"):
+            raise ValueError("mode must be 'mean' or 'sum'")
+        self.table = table
+        self.mode = mode
+
+    def forward(self, field: MultiHotField) -> np.ndarray:
+        """Pooled ``(batch, d)`` embeddings."""
+        return self.table.lookup_pooled(
+            field.ids, field.offsets, mode=self.mode
+        )
+
+    def backward(
+        self, field: MultiHotField, grad_out: np.ndarray
+    ) -> SparseRowGrad:
+        """Row-sparse gradient of the pooled lookup."""
+        return self.table.grad_from_pooled(
+            field.ids, field.offsets, grad_out, mode=self.mode
+        )
+
+    def forward_with_overlay(
+        self, field: MultiHotField, adapter
+    ) -> np.ndarray:
+        """Pooled lookup through a LoRA adapter (``W + A B`` per id).
+
+        Pooling commutes with the additive adapter, so the adapted pooled
+        vector is ``pool(W[ids]) + pool(delta[ids])``.
+        """
+        base = self.forward(field)
+        deltas = adapter.delta_rows(field.ids)
+        pooled_delta = np.zeros_like(base)
+        for b in range(field.batch_size):
+            lo, hi = field.offsets[b], field.offsets[b + 1]
+            if hi <= lo:
+                continue
+            seg = deltas[lo:hi].sum(axis=0)
+            if self.mode == "mean":
+                seg = seg / (hi - lo)
+            pooled_delta[b] = seg
+        return base + pooled_delta

@@ -1,0 +1,91 @@
+"""Optimizers for DLRM training.
+
+Two flavours are provided:
+
+* :class:`SGD` — plain stochastic gradient descent.
+* :class:`RowwiseAdagrad` — the de-facto industry choice for embedding
+  tables (used by TorchRec); keeps one accumulator scalar per row so that
+  memory overhead stays O(|V|) instead of O(|V| x d).
+
+Both understand the :class:`~repro.dlrm.embedding.SparseRowGrad` format so
+that only touched rows pay update cost, matching production behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .embedding import EmbeddingTable, SparseRowGrad
+from .mlp import MLP, DenseGrads
+
+__all__ = ["SGD", "RowwiseAdagrad"]
+
+
+class SGD:
+    """Plain SGD for dense modules and sparse embedding rows."""
+
+    def __init__(self, lr: float = 0.01) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def step_dense(self, mlp: MLP, grads: DenseGrads) -> None:
+        mlp.apply_grads(grads, self.lr)
+
+    def step_sparse(self, table: EmbeddingTable, grad: SparseRowGrad) -> None:
+        table.apply_sparse_update(grad, self.lr)
+
+
+class RowwiseAdagrad:
+    """Row-wise Adagrad for embedding tables.
+
+    Each row ``i`` keeps a scalar accumulator ``s_i`` updated with the mean
+    squared gradient of the row; the effective step is
+    ``lr / sqrt(s_i + eps)``.  Dense modules fall back to full Adagrad with
+    per-parameter accumulators.
+    """
+
+    def __init__(self, lr: float = 0.05, eps: float = 1e-8) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.eps = eps
+        # Accumulators are keyed by object identity so one optimizer can
+        # drive many tables/MLPs, the way a training job owns all modules.
+        self._row_state: dict[int, np.ndarray] = {}
+        self._dense_state: dict[int, tuple[list[np.ndarray], list[np.ndarray]]] = {}
+
+    # ------------------------------------------------------------ sparse path
+    def _rows_for(self, table: EmbeddingTable) -> np.ndarray:
+        key = id(table)
+        state = self._row_state.get(key)
+        if state is None or state.shape[0] != table.num_rows:
+            state = np.zeros(table.num_rows)
+            self._row_state[key] = state
+        return state
+
+    def step_sparse(self, table: EmbeddingTable, grad: SparseRowGrad) -> None:
+        state = self._rows_for(table)
+        g2 = (grad.rows ** 2).mean(axis=1)
+        state[grad.indices] += g2
+        scale = self.lr / np.sqrt(state[grad.indices] + self.eps)
+        table.weight[grad.indices] -= scale[:, None] * grad.rows
+        table._touched.update(int(i) for i in grad.indices)
+
+    # ------------------------------------------------------------- dense path
+    def step_dense(self, mlp: MLP, grads: DenseGrads) -> None:
+        key = id(mlp)
+        state = self._dense_state.get(key)
+        if state is None:
+            state = (
+                [np.zeros_like(w) for w in mlp.weights],
+                [np.zeros_like(b) for b in mlp.biases],
+            )
+            self._dense_state[key] = state
+        acc_w, acc_b = state
+        for w, gw, aw in zip(mlp.weights, grads.weights, acc_w):
+            aw += gw ** 2
+            w -= self.lr * gw / np.sqrt(aw + self.eps)
+        for b, gb, ab in zip(mlp.biases, grads.biases, acc_b):
+            ab += gb ** 2
+            b -= self.lr * gb / np.sqrt(ab + self.eps)

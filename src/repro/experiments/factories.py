@@ -1,0 +1,86 @@
+"""Canonical strategy factories for the comparison experiments.
+
+Each factory builds one of the evaluated configurations from Table III /
+Fig. 15: the three baselines, fixed-rank LiveUpdate ablations, and the full
+dynamic-rank LiveUpdate.
+"""
+
+from __future__ import annotations
+
+from ..cluster.nodes import InferenceNode, TrainingCluster
+from ..core.liveupdate import LiveUpdate, LiveUpdateConfig
+from ..core.trainer import TrainerConfig
+from ..strategies import DeltaUpdate, NoUpdate, QuickUpdate
+from ..strategies.base import UpdateStrategy
+
+__all__ = [
+    "no_update",
+    "delta_update",
+    "quick_update",
+    "live_update",
+    "standard_lineup",
+]
+
+
+def no_update(trainer: TrainingCluster, node: InferenceNode) -> UpdateStrategy:
+    return NoUpdate()
+
+
+def delta_update(
+    trainer: TrainingCluster, node: InferenceNode
+) -> UpdateStrategy:
+    return DeltaUpdate(trainer, node)
+
+
+def quick_update(alpha: float = 0.05):
+    """Factory-of-factory so the top-percent is configurable."""
+
+    def build(trainer: TrainingCluster, node: InferenceNode) -> UpdateStrategy:
+        return QuickUpdate(trainer, node, alpha=alpha)
+
+    return build
+
+
+def live_update(
+    rank: int | None = None,
+    lr: float = 0.25,
+    steps_per_slot: int = 6,
+    alpha: float = 0.8,
+):
+    """LiveUpdate factory.
+
+    Args:
+        rank: fixed LoRA rank (``None`` = dynamic rank adaptation).
+        lr: adapter learning rate.
+        steps_per_slot: trainer cadence between windows.
+        alpha: PCA variance threshold when dynamic.
+    """
+
+    def build(trainer: TrainingCluster, node: InferenceNode) -> UpdateStrategy:
+        trainer_config = TrainerConfig(
+            rank=rank if rank is not None else 4,
+            dynamic_rank=rank is None,
+            alpha=alpha,
+            lr=lr,
+        )
+        return LiveUpdate(
+            node,
+            trainer_cluster=trainer,
+            trainer_config=trainer_config,
+            config=LiveUpdateConfig(steps_per_slot=steps_per_slot),
+        )
+
+    return build
+
+
+def standard_lineup() -> dict[str, object]:
+    """The Table III lineup keyed by the paper's row labels."""
+    return {
+        "DeltaUpdate": delta_update,
+        "NoUpdate": no_update,
+        "QuickUpdate-5%": quick_update(0.05),
+        "QuickUpdate-10%": quick_update(0.10),
+        "LiveUpdate-8": live_update(rank=8),
+        "LiveUpdate-16/64": live_update(rank=16),
+        "LiveUpdate": live_update(rank=None),
+    }

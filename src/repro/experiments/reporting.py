@@ -1,0 +1,30 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures and
+tables report; this module keeps that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "banner"]
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned fixed-width table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.4f}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def banner(title: str) -> str:
+    """Section header used before each reproduced figure/table."""
+    bar = "=" * max(len(title), 20)
+    return f"\n{bar}\n{title}\n{bar}"

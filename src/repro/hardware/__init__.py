@@ -1,0 +1,37 @@
+"""Hardware substrate: CPU topology, L3 cache simulation, DRAM contention,
+latency/power models, adaptive NUMA partitioning, and embedding reuse."""
+
+from .cache import CacheStats, LRUCache, simulate_interleaved
+from .latency import InferenceLatencyModel, LatencyBreakdown, percentile
+from .memory import MemoryBandwidthModel, MemoryTraffic
+from .numa import AdaptiveNumaPartitioner, PartitionState, RebalanceEvent
+from .power import CPUPowerModel, DiurnalLoadTrace, UtilizationSample
+from .reuse import ReuseStats, ShadowEmbeddingBuffer
+from .tiered_store import TieredEmbeddingStore, TieredStoreConfig, TierStats
+from .topology import CCD, EPYC_9684X_DUAL, NodeTopology, Socket
+
+__all__ = [
+    "CCD",
+    "Socket",
+    "NodeTopology",
+    "EPYC_9684X_DUAL",
+    "LRUCache",
+    "CacheStats",
+    "simulate_interleaved",
+    "MemoryTraffic",
+    "MemoryBandwidthModel",
+    "InferenceLatencyModel",
+    "LatencyBreakdown",
+    "percentile",
+    "CPUPowerModel",
+    "DiurnalLoadTrace",
+    "UtilizationSample",
+    "AdaptiveNumaPartitioner",
+    "PartitionState",
+    "RebalanceEvent",
+    "ReuseStats",
+    "ShadowEmbeddingBuffer",
+    "TieredEmbeddingStore",
+    "TieredStoreConfig",
+    "TierStats",
+]

@@ -1,0 +1,150 @@
+"""Last-level-cache simulator.
+
+Models an L3 slice as an LRU cache over embedding rows (the unit of locality
+that matters for DLRM serving).  Two deployment modes reproduce the paper's
+Fig. 11 mechanism:
+
+* **shared** — inference and training streams hit the same LRU state, so the
+  trainer's irregular writes evict the server's hot rows (cache thrashing,
+  <10% hit rates for both).
+* **partitioned** — each workload gets its own cache sized to its CCD
+  allocation, so each hot set stays resident (Section IV-D).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheStats", "LRUCache", "simulate_interleaved"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one access stream."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(self.hits + other.hits, self.misses + other.misses)
+
+
+class LRUCache:
+    """Byte-capacity LRU cache keyed by arbitrary hashables.
+
+    Args:
+        capacity_bytes: total capacity; inserting beyond it evicts LRU
+            entries.  Zero capacity is legal (everything misses).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[object, int] = OrderedDict()
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def access(self, key: object, size_bytes: int) -> bool:
+        """Touch ``key``; returns True on hit.  Misses insert the entry."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        if size_bytes > self.capacity_bytes:
+            return False  # un-cacheable object; bypasses the cache
+        self._entries[key] = size_bytes
+        self._used += size_bytes
+        while self._used > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= evicted
+        return False
+
+    def access_many(
+        self, keys: np.ndarray, size_bytes: int, stats: CacheStats | None = None
+    ) -> CacheStats:
+        """Touch a sequence of same-sized keys, accumulating stats."""
+        stats = stats or CacheStats()
+        for k in keys:
+            if self.access(int(k), size_bytes):
+                stats.hits += 1
+            else:
+                stats.misses += 1
+        return stats
+
+    def invalidate(self, key: object) -> bool:
+        """Drop one entry if present (write-invalidate from another agent)."""
+        size = self._entries.pop(key, None)
+        if size is None:
+            return False
+        self._used -= size
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+
+def simulate_interleaved(
+    cache_a: LRUCache,
+    cache_b: LRUCache | None,
+    stream_a: np.ndarray,
+    stream_b: np.ndarray,
+    row_bytes: int,
+    key_offset_b: int = 1 << 40,
+    burst_a: int = 1024,
+    burst_b: int = 4096,
+) -> tuple[CacheStats, CacheStats]:
+    """Interleave two access streams over one or two caches.
+
+    When ``cache_b`` is ``None`` both streams share ``cache_a`` (the
+    un-isolated co-location case); stream B's keys are offset so the two
+    workloads never alias, only *compete*.  Returns per-stream stats.
+
+    Streams interleave in *bursts* (``burst_a`` accesses of A, then
+    ``burst_b`` of B, ...): inference serves whole request batches and the
+    trainer runs whole mini-batch fwd/bwd passes, so cache occupancy swings
+    at batch granularity — exactly the thrashing pattern that collapses hit
+    rates when the two share an L3.
+    """
+    stats_a, stats_b = CacheStats(), CacheStats()
+    shared = cache_b is None
+    target_b = cache_a if shared else cache_b
+    ia = ib = 0
+    while ia < len(stream_a) or ib < len(stream_b):
+        end_a = min(ia + burst_a, len(stream_a))
+        for k in stream_a[ia:end_a]:
+            if cache_a.access(int(k), row_bytes):
+                stats_a.hits += 1
+            else:
+                stats_a.misses += 1
+        ia = end_a
+        end_b = min(ib + burst_b, len(stream_b))
+        for k in stream_b[ib:end_b]:
+            key = int(k) + (key_offset_b if shared else 0)
+            if target_b.access(key, row_bytes):
+                stats_b.hits += 1
+            else:
+                stats_b.misses += 1
+        ib = end_b
+    return stats_a, stats_b

@@ -1,0 +1,184 @@
+"""Tiered embedding storage: GPU HBM + CPU DRAM + remote parameter server.
+
+Section II-B: inference clusters keep 5-10% *hot* embeddings in GPU HBM and
+the remaining warm rows in multi-TB CPU DRAM; cold misses fall through to
+the remote parameter server.  This module implements that hierarchy as an
+actual row store (reads return real vectors) with per-tier hit accounting
+and a latency cost model, so serving experiments can measure the effect of
+placement policy on lookup time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TierStats", "TieredStoreConfig", "TieredEmbeddingStore"]
+
+
+@dataclass
+class TierStats:
+    """Per-tier access counters."""
+
+    hbm_hits: int = 0
+    dram_hits: int = 0
+    remote_misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hbm_hits + self.dram_hits + self.remote_misses
+
+    @property
+    def hbm_hit_ratio(self) -> float:
+        return self.hbm_hits / self.total if self.total else 0.0
+
+    @property
+    def local_hit_ratio(self) -> float:
+        """Fraction served without touching the remote parameter server."""
+        if not self.total:
+            return 0.0
+        return (self.hbm_hits + self.dram_hits) / self.total
+
+
+@dataclass
+class TieredStoreConfig:
+    """Capacity and latency parameters of the hierarchy.
+
+    Latencies are per-row effective costs (amortised over batched reads),
+    reflecting the paper's bandwidth figures: NVLink-class HBM access,
+    DDR5 DRAM, and an RDMA round trip to the parameter server.
+    """
+
+    hbm_capacity_rows: int = 1000
+    hbm_latency_us: float = 0.5
+    dram_latency_us: float = 2.0
+    remote_latency_us: float = 80.0
+    promote_on_access: bool = True
+
+
+class TieredEmbeddingStore:
+    """Row store for one embedding table across HBM / DRAM / remote tiers.
+
+    The DRAM tier holds the full local partition.  The HBM tier is an LRU
+    subset sized by ``hbm_capacity_rows``; accesses can promote rows into
+    it (default), mirroring production hot-row placement.  Rows outside the
+    local partition (sharded elsewhere) are remote and served by the
+    parameter-server callback.
+
+    Args:
+        weight: the ``(rows, d)`` local DRAM-resident partition.
+        config: tier parameters.
+        local_ids: ids owned by this node's partition.  ``None`` means the
+            whole table is local (single-node deployments).
+        remote_fetch: callback ``(ids) -> rows`` for non-local ids.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        config: TieredStoreConfig | None = None,
+        local_ids: np.ndarray | None = None,
+        remote_fetch=None,
+    ) -> None:
+        self.weight = np.asarray(weight, dtype=np.float64)
+        self.config = config or TieredStoreConfig()
+        self._local = (
+            None if local_ids is None else set(int(i) for i in local_ids)
+        )
+        self._remote_fetch = remote_fetch
+        self._hbm: OrderedDict[int, None] = OrderedDict()
+        self.stats = TierStats()
+
+    # ------------------------------------------------------------- placement
+    @property
+    def hbm_rows(self) -> int:
+        return len(self._hbm)
+
+    def is_local(self, idx: int) -> bool:
+        return self._local is None or int(idx) in self._local
+
+    def preload_hot(self, ids: np.ndarray) -> int:
+        """Pin the given ids into HBM (initial hot-set placement).
+
+        Returns how many were admitted before capacity ran out.
+        """
+        admitted = 0
+        for i in np.asarray(ids, dtype=np.int64):
+            if len(self._hbm) >= self.config.hbm_capacity_rows:
+                break
+            if self.is_local(int(i)):
+                self._hbm[int(i)] = None
+                admitted += 1
+        return admitted
+
+    def _touch_hbm(self, idx: int) -> None:
+        self._hbm[idx] = None
+        self._hbm.move_to_end(idx)
+        while len(self._hbm) > self.config.hbm_capacity_rows:
+            self._hbm.popitem(last=False)
+
+    # ---------------------------------------------------------------- lookup
+    def lookup(self, ids: np.ndarray) -> tuple[np.ndarray, float]:
+        """Fetch rows for ``ids``; returns (rows, modelled latency in us).
+
+        Latency is the sum of per-row tier costs — the quantity the hybrid
+        hierarchy is designed to minimise by keeping hot rows in HBM.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        out = np.zeros((ids.shape[0], self.weight.shape[1]))
+        latency_us = 0.0
+        cfg = self.config
+        remote_needed: list[int] = []
+        for j, raw in enumerate(ids):
+            i = int(raw)
+            if not self.is_local(i):
+                remote_needed.append(j)
+                continue
+            if i in self._hbm:
+                self.stats.hbm_hits += 1
+                latency_us += cfg.hbm_latency_us
+                self._hbm.move_to_end(i)
+            else:
+                self.stats.dram_hits += 1
+                latency_us += cfg.dram_latency_us
+                if cfg.promote_on_access:
+                    self._touch_hbm(i)
+            out[j] = self.weight[i]
+        if remote_needed:
+            self.stats.remote_misses += len(remote_needed)
+            latency_us += cfg.remote_latency_us * len(remote_needed)
+            if self._remote_fetch is not None:
+                remote_ids = ids[remote_needed]
+                out[remote_needed] = self._remote_fetch(remote_ids)
+        return out, latency_us
+
+    # ---------------------------------------------------------------- update
+    def apply_update(self, ids: np.ndarray, rows: np.ndarray) -> int:
+        """Write updated rows into the local partition (delta application).
+
+        HBM copies are write-through (same backing array), so no
+        invalidation is needed; returns the number of local rows written.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        written = 0
+        for i, row in zip(ids, rows):
+            i = int(i)
+            if self.is_local(i) and 0 <= i < self.weight.shape[0]:
+                self.weight[i] = row
+                written += 1
+        return written
+
+    def mean_lookup_latency_us(self) -> float:
+        """Average modelled per-row latency so far."""
+        s = self.stats
+        if not s.total:
+            return 0.0
+        cfg = self.config
+        total = (
+            s.hbm_hits * cfg.hbm_latency_us
+            + s.dram_hits * cfg.dram_latency_us
+            + s.remote_misses * cfg.remote_latency_us
+        )
+        return total / s.total

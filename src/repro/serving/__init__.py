@@ -1,0 +1,16 @@
+"""Co-located serving: the node simulator behind the performance-isolation
+experiments, plus SLA monitoring."""
+
+from .engine import ColocatedNodeSimulator, NodeSimConfig, WindowResult
+from .qos import SLAMonitor, SLAReport
+from .router import ConsistentHashRouter, RouterStats
+
+__all__ = [
+    "ColocatedNodeSimulator",
+    "NodeSimConfig",
+    "WindowResult",
+    "SLAMonitor",
+    "ConsistentHashRouter",
+    "RouterStats",
+    "SLAReport",
+]

@@ -1,0 +1,427 @@
+"""Co-located serving + training node simulator.
+
+Integrates the hardware substrate into one executable model of an inference
+node that may also host the LoRA trainer.  Four configurations reproduce the
+Fig. 16 ablation:
+
+* ``inference_only``  — no trainer (latency lower bound);
+* ``colocated_naive`` — trainer shares the L3 and memory path (w/o Opt);
+* ``colocated_sched`` — CCD partitioning isolates the caches (w/ Scheduling);
+* ``colocated_full``  — partitioning + shadow-buffer reuse
+  (w/ Reuse+Scheduling).
+
+The simulator is deliberately scaled down (table sizes and per-CCD L3 bytes
+are laptop-scale) but keeps the *ratios* that drive the mechanism: the
+inference hot set fits in the inference partition's L3, and the trainer's
+irregular traffic is large enough to thrash a shared cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.zipf import ZipfSampler
+from ..hardware.cache import CacheStats, LRUCache, simulate_interleaved
+from ..hardware.latency import InferenceLatencyModel, percentile
+from ..hardware.memory import MemoryBandwidthModel, MemoryTraffic
+from ..hardware.numa import AdaptiveNumaPartitioner
+from ..hardware.reuse import ShadowEmbeddingBuffer
+from ..hardware.topology import EPYC_9684X_DUAL, NodeTopology
+
+__all__ = ["NodeSimConfig", "WindowResult", "ColocatedNodeSimulator"]
+
+MB = 1024 ** 2
+
+
+@dataclass
+class NodeSimConfig:
+    """Scaled-down co-location simulation parameters.
+
+    Attributes:
+        num_rows: embedding rows on this node's partition.
+        row_bytes: bytes per row.
+        l3_bytes_per_ccd: simulated L3 slice (scaled so the hot set of a
+            Zipf-skewed table occupies a few CCDs, like production).
+        inference_zipf: skew of serving lookups.
+        training_zipf: skew of trainer lookups (flatter: uniform sampling
+            over the retention window revisits cold ids far more often).
+        accesses_per_window: inference lookups simulated per window.
+        training_ratio: trainer lookups as a fraction of inference lookups.
+        batches_per_s: served batches per second (DRAM-traffic accounting).
+        lookups_per_batch: aggregate embedding fetches per served batch.
+        serving_bandwidth_gbps: memory-bandwidth share available to the
+            serving path on its NUMA domain (the contended resource).
+        naive_remote_fraction: without NUMA-aware allocation, this share of
+            DRAM accesses lands on the remote socket.
+        trainer_write_fraction: fraction of trainer traffic that is writes.
+        reuse_capacity_rows: shadow-buffer capacity when reuse is enabled.
+        seed: RNG seed.
+    """
+
+    num_rows: int = 200_000
+    row_bytes: int = 128
+    l3_bytes_per_ccd: int = int(0.25 * MB)
+    inference_zipf: float = 0.9
+    training_zipf: float = 0.15
+    accesses_per_window: int = 100_000
+    training_ratio: float = 12.0
+    trainer_read_fraction: float = 0.4
+    inference_burst: int = 256
+    trainer_burst_every: int = 8
+    batches_per_s: float = 2_000.0
+    lookups_per_batch: int = 200_000
+    serving_bandwidth_gbps: float = 60.0
+    naive_remote_fraction: float = 0.5
+    training_samples_per_s: float = 50_000.0
+    training_lookups_per_sample: int = 320
+    trainer_write_fraction: float = 0.5
+    reuse_capacity_rows: int = 40_000
+    seed: int = 0
+
+
+@dataclass
+class WindowResult:
+    """Metrics of one simulated serving window."""
+
+    config_name: str
+    inference_hit_ratio: float
+    training_hit_ratio: float
+    reuse_ratio: float
+    memory_traffic_gbps: float
+    memory_utilization: float
+    p50_ms: float
+    p99_ms: float
+
+
+class ColocatedNodeSimulator:
+    """Runs serving windows under different isolation configurations."""
+
+    def __init__(
+        self,
+        config: NodeSimConfig | None = None,
+        topology: NodeTopology = EPYC_9684X_DUAL,
+    ) -> None:
+        self.config = config or NodeSimConfig()
+        self.topology = topology
+        cfg = self.config
+        self._rng = np.random.default_rng(cfg.seed)
+        self._inference_sampler = ZipfSampler(
+            cfg.num_rows, cfg.inference_zipf, rng=np.random.default_rng(cfg.seed + 1)
+        )
+        self._training_sampler = ZipfSampler(
+            cfg.num_rows, cfg.training_zipf, rng=np.random.default_rng(cfg.seed + 2)
+        )
+        self.memory = MemoryBandwidthModel(peak_gbps=cfg.serving_bandwidth_gbps)
+        self.latency = InferenceLatencyModel(
+            memory=self.memory,
+            lookups_per_query=cfg.lookups_per_batch,
+            row_bytes=cfg.row_bytes,
+            seed=cfg.seed,
+        )
+
+    # ------------------------------------------------------------- plumbing
+    def _partition_l3(
+        self, inference_ccds: int, training_ccds: int
+    ) -> tuple[int, int]:
+        per = self.config.l3_bytes_per_ccd
+        return inference_ccds * per, training_ccds * per
+
+    def _streams(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Generate (inference, trainer-read, trainer-write) access streams.
+
+        Trainer *reads* re-visit ids the server recently looked up (the ring
+        buffer holds served traffic), so they alias with inference rows —
+        that aliasing is what the shadow buffer exploits.  Trainer *writes*
+        (gradient rows, optimizer accumulators, LoRA slots) are private
+        state with a flat, wide footprint — the cache polluter.
+        """
+        cfg = self.config
+        inf = self._inference_sampler.sample(cfg.accesses_per_window)
+        n_train = int(cfg.accesses_per_window * cfg.training_ratio)
+        n_read = int(n_train * cfg.trainer_read_fraction)
+        reads = self._rng.choice(inf, size=n_read, replace=True)
+        writes = self._training_sampler.sample(n_train - n_read)
+        return inf, reads, writes
+
+    def _traffic(
+        self,
+        inf_hit: float,
+        train_hit: float,
+        training_on: bool,
+        reuse_ratio: float = 0.0,
+    ) -> MemoryTraffic:
+        cfg = self.config
+        traffic = MemoryBandwidthModel.inference_traffic(
+            cfg.batches_per_s, cfg.lookups_per_batch, cfg.row_bytes, inf_hit
+        )
+        if training_on:
+            effective_rate = cfg.training_samples_per_s * (1.0 - reuse_ratio)
+            traffic = traffic + MemoryBandwidthModel.training_traffic(
+                effective_rate,
+                cfg.training_lookups_per_sample,
+                cfg.row_bytes,
+                train_hit,
+                write_fraction=cfg.trainer_write_fraction,
+            )
+        return traffic
+
+    def _result(
+        self,
+        name: str,
+        inf_stats: CacheStats,
+        train_stats: CacheStats | None,
+        training_on: bool,
+        reuse_ratio: float = 0.0,
+        remote_fraction: float = 0.0,
+        num_requests: int = 20_000,
+    ) -> WindowResult:
+        inf_hit = inf_stats.hit_ratio
+        train_hit = train_stats.hit_ratio if train_stats else 0.0
+        traffic = self._traffic(inf_hit, train_hit, training_on, reuse_ratio)
+        samples = self.latency.sample_latencies(
+            num_requests, inf_hit, traffic, remote_fraction
+        )
+        return WindowResult(
+            config_name=name,
+            inference_hit_ratio=inf_hit,
+            training_hit_ratio=train_hit,
+            reuse_ratio=reuse_ratio,
+            memory_traffic_gbps=traffic.total_gbps,
+            memory_utilization=self.memory.utilization(traffic),
+            p50_ms=percentile(samples, 50),
+            p99_ms=percentile(samples, 99),
+        )
+
+    # ------------------------------------------------------------ simulation
+    def _run_window(
+        self,
+        name: str,
+        training_on: bool,
+        shared_cache: bool,
+        reuse: bool,
+        inference_ccds: int,
+        training_ccds: int,
+        remote_fraction: float = 0.0,
+    ) -> WindowResult:
+        """Burst-interleaved cache simulation of one serving window."""
+        cfg = self.config
+        if shared_cache:
+            l3_total, _ = self._partition_l3(inference_ccds + training_ccds, 0)
+            cache_inf = LRUCache(l3_total)
+            cache_train = cache_inf
+        else:
+            l3_inf, l3_train = self._partition_l3(inference_ccds, training_ccds)
+            cache_inf = LRUCache(l3_inf)
+            cache_train = LRUCache(max(l3_train, 1))
+        inf, reads, writes = self._streams()
+        shadow = (
+            ShadowEmbeddingBuffer(cfg.reuse_capacity_rows) if reuse else None
+        )
+        # Warm the serving cache to steady state: production servers have
+        # been running for hours, so first-touch cold misses are not part
+        # of the measured window.
+        warm = self._inference_sampler.sample(cfg.accesses_per_window)
+        for key in warm:
+            cache_inf.access(int(key), cfg.row_bytes)
+            if shadow is not None:
+                shadow.publish(0, np.array([key]), np.zeros((1, 1)))
+        inf_stats, train_stats = CacheStats(), CacheStats()
+        absorbed = 0
+        if shared_cache and training_on:
+            # Naive co-location: trainer threads run *concurrently* with the
+            # server on neighbouring cores, so accesses interleave at cache
+            # granularity — each inference touch competes with ~ratio
+            # trainer insertions, which is what evicts the hot set.
+            return self._run_shared_fine(
+                name, cache_inf, inf, reads, writes, remote_fraction
+            )
+        burst = cfg.inference_burst
+        num_bursts = max(1, (len(inf) + burst - 1) // burst)
+        # One trainer step is much longer than one served batch: it fires
+        # every ``trainer_burst_every`` inference bursts and touches its
+        # whole mini-batch footprint at once.
+        num_trainer_bursts = max(1, num_bursts // cfg.trainer_burst_every)
+        read_chunk = (len(reads) + num_trainer_bursts - 1) // num_trainer_bursts
+        write_chunk = (len(writes) + num_trainer_bursts - 1) // num_trainer_bursts
+        # Without reuse the trainer copies looked-up rows into its own
+        # training arena, so even reads of the "same" embedding land on
+        # different cache lines than the server's — hence the offsets.
+        # Only the shadow buffer makes trainer reads alias server-warm lines.
+        read_offset = 1 << 41
+        write_offset = 1 << 40
+        dummy_row = np.zeros((1, 1))
+        trainer_step = 0
+        for b in range(num_bursts):
+            for key in inf[b * burst : (b + 1) * burst]:
+                if cache_inf.access(int(key), cfg.row_bytes):
+                    inf_stats.hits += 1
+                else:
+                    inf_stats.misses += 1
+                if shadow is not None:
+                    shadow.publish(0, np.array([key]), dummy_row)
+            if not training_on or (b + 1) % cfg.trainer_burst_every:
+                continue
+            t = trainer_step
+            trainer_step += 1
+            for key in reads[t * read_chunk : (t + 1) * read_chunk]:
+                if shadow is not None and shadow.lookup(0, int(key)) is not None:
+                    absorbed += 1
+                    train_stats.hits += 1
+                elif cache_train.access(int(key) + read_offset, cfg.row_bytes):
+                    train_stats.hits += 1
+                else:
+                    train_stats.misses += 1
+            for key in writes[t * write_chunk : (t + 1) * write_chunk]:
+                if cache_train.access(int(key) + write_offset, cfg.row_bytes):
+                    train_stats.hits += 1
+                else:
+                    train_stats.misses += 1
+        n_train = len(reads) + len(writes)
+        reuse_ratio = absorbed / n_train if (reuse and n_train) else 0.0
+        return self._result(
+            name,
+            inf_stats,
+            train_stats if training_on else None,
+            training_on=training_on,
+            reuse_ratio=reuse_ratio,
+            remote_fraction=remote_fraction,
+        )
+
+    def _run_shared_fine(
+        self,
+        name: str,
+        cache: LRUCache,
+        inf: np.ndarray,
+        reads: np.ndarray,
+        writes: np.ndarray,
+        remote_fraction: float,
+    ) -> WindowResult:
+        """Per-access interleave of server and trainer over one shared L3."""
+        cfg = self.config
+        inf_stats, train_stats = CacheStats(), CacheStats()
+        read_offset = 1 << 41
+        write_offset = 1 << 40
+        n_inf = len(inf)
+        ir = iw = 0
+        reads_per_step = len(reads) / max(n_inf, 1)
+        writes_per_step = len(writes) / max(n_inf, 1)
+        racc = wacc = 0.0
+        for i in range(n_inf):
+            if cache.access(int(inf[i]), cfg.row_bytes):
+                inf_stats.hits += 1
+            else:
+                inf_stats.misses += 1
+            racc += reads_per_step
+            while racc >= 1.0 and ir < len(reads):
+                if cache.access(int(reads[ir]) + read_offset, cfg.row_bytes):
+                    train_stats.hits += 1
+                else:
+                    train_stats.misses += 1
+                ir += 1
+                racc -= 1.0
+            wacc += writes_per_step
+            while wacc >= 1.0 and iw < len(writes):
+                if cache.access(int(writes[iw]) + write_offset, cfg.row_bytes):
+                    train_stats.hits += 1
+                else:
+                    train_stats.misses += 1
+                iw += 1
+                wacc -= 1.0
+        return self._result(
+            name,
+            inf_stats,
+            train_stats,
+            training_on=True,
+            remote_fraction=remote_fraction,
+        )
+
+    # --------------------------------------------------------------- configs
+    def run_inference_only(self, total_ccds: int = 12) -> WindowResult:
+        """Lower bound: the whole L3 allocation serves inference."""
+        return self._run_window(
+            "inference_only",
+            training_on=False,
+            shared_cache=False,
+            reuse=False,
+            inference_ccds=total_ccds,
+            training_ccds=0,
+        )
+
+    def run_colocated_naive(self, total_ccds: int = 12) -> WindowResult:
+        """w/o Opt: trainer and server share one cache domain, and trainer
+        pages are not NUMA-local (remote-socket penalty applies)."""
+        return self._run_window(
+            "colocated_naive",
+            training_on=True,
+            shared_cache=True,
+            reuse=False,
+            inference_ccds=total_ccds,
+            training_ccds=0,
+            remote_fraction=self.config.naive_remote_fraction,
+        )
+
+    def run_colocated_scheduled(
+        self, inference_ccds: int = 10, training_ccds: int = 2
+    ) -> WindowResult:
+        """w/ Scheduling: disjoint CCD partitions, separate caches."""
+        return self._run_window(
+            "colocated_scheduled",
+            training_on=True,
+            shared_cache=False,
+            reuse=False,
+            inference_ccds=inference_ccds,
+            training_ccds=training_ccds,
+        )
+
+    def run_colocated_full(
+        self, inference_ccds: int = 10, training_ccds: int = 2
+    ) -> WindowResult:
+        """w/ Reuse+Scheduling: partitioning plus shadow-buffer reuse.
+
+        Trainer reads first consult the shadow buffer of rows the server
+        already fetched; only the remainder touches the training cache and
+        DRAM.  Reused rows count as training cache hits — they are reads
+        from pinned, cache-resident memory.
+        """
+        return self._run_window(
+            "colocated_full",
+            training_on=True,
+            shared_cache=False,
+            reuse=True,
+            inference_ccds=inference_ccds,
+            training_ccds=training_ccds,
+        )
+
+    # ------------------------------------------------------------- ablation
+    def ablation(self) -> dict[str, WindowResult]:
+        """All four Fig. 16 configurations with a fresh simulator state."""
+        return {
+            "Only Infer": self.run_inference_only(),
+            "w/o Opt": self.run_colocated_naive(),
+            "w/ Scheduling": self.run_colocated_scheduled(),
+            "w/ Reuse+Scheduling": self.run_colocated_full(),
+        }
+
+    # ---------------------------------------------------- adaptive scheduling
+    def measure_p99_for_partition(self, inference_ccds: int, training_ccds: int) -> float:
+        """P99 under a given CCD split (Algorithm 2's measurement hook)."""
+        result = self.run_colocated_scheduled(inference_ccds, training_ccds)
+        return result.p99_ms
+
+    def run_adaptive(
+        self, partitioner: AdaptiveNumaPartitioner, cycles: int = 10
+    ) -> list[WindowResult]:
+        """Closed-loop Algorithm 2 over this simulator."""
+        results = []
+        for _ in range(cycles):
+            state = partitioner.state
+            result = self.run_colocated_scheduled(
+                state.num_inference, max(state.num_training, 1)
+                if state.num_training
+                else 0,
+            )
+            results.append(result)
+            partitioner.observe(result.p99_ms)
+        return results

@@ -1,0 +1,88 @@
+"""QoS / SLA monitoring for the serving path.
+
+Tracks per-window latency percentiles against the paper's SLAs (P99 < 20 ms
+end-to-end; < 10 ms GPU inference time in the evaluation's stress setting)
+and provides the measurement window Algorithm 2 consumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.latency import percentile
+
+__all__ = ["SLAReport", "SLAMonitor"]
+
+
+@dataclass
+class SLAReport:
+    """Latency summary of one monitoring window."""
+
+    window_id: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    violated: bool
+    num_requests: int
+
+
+class SLAMonitor:
+    """Sliding-window tail-latency monitor.
+
+    Args:
+        p99_target_ms: SLA threshold (paper stress setting: 10 ms).
+        window_requests: samples per monitoring window.
+    """
+
+    def __init__(
+        self, p99_target_ms: float = 10.0, window_requests: int = 5000
+    ) -> None:
+        if p99_target_ms <= 0:
+            raise ValueError("SLA target must be positive")
+        self.p99_target_ms = p99_target_ms
+        self.window_requests = window_requests
+        self._current: list[float] = []
+        self.reports: list[SLAReport] = []
+        self._window_id = 0
+
+    def observe(self, latencies_ms: np.ndarray) -> list[SLAReport]:
+        """Feed request latencies; returns any windows completed by them."""
+        completed = []
+        for value in np.asarray(latencies_ms, dtype=np.float64).ravel():
+            self._current.append(float(value))
+            if len(self._current) >= self.window_requests:
+                completed.append(self._close_window())
+        return completed
+
+    def _close_window(self) -> SLAReport:
+        samples = np.array(self._current)
+        self._current.clear()
+        self._window_id += 1
+        p99 = percentile(samples, 99)
+        report = SLAReport(
+            window_id=self._window_id,
+            p50_ms=percentile(samples, 50),
+            p95_ms=percentile(samples, 95),
+            p99_ms=p99,
+            violated=bool(p99 > self.p99_target_ms),
+            num_requests=samples.size,
+        )
+        self.reports.append(report)
+        return report
+
+    def current_p99(self) -> float:
+        """P99 of the in-progress window (or last closed one if empty)."""
+        if self._current:
+            return percentile(np.array(self._current), 99)
+        if self.reports:
+            return self.reports[-1].p99_ms
+        return float("nan")
+
+    @property
+    def violation_rate(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.violated for r in self.reports) / len(self.reports)

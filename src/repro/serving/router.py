@@ -1,0 +1,134 @@
+"""Fleet request routing.
+
+Production serving shards traffic across inference nodes — by consistent
+hashing of a routing key (user/session) with load-aware spillover.  Routing
+is what creates the *node-local traffic distributions* LiveUpdate's local
+trainers adapt to, and what the EMT partitioning in Fig. 2 assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RouterStats", "ConsistentHashRouter"]
+
+
+@dataclass
+class RouterStats:
+    """Routing outcome counters."""
+
+    routed: int = 0
+    spilled: int = 0
+
+    @property
+    def spill_ratio(self) -> float:
+        total = self.routed + self.spilled
+        return self.spilled / total if total else 0.0
+
+
+class ConsistentHashRouter:
+    """Consistent-hash ring with virtual nodes and load-aware spillover.
+
+    Args:
+        node_ids: physical inference nodes.
+        virtual_nodes: ring points per physical node (smooths the split).
+        capacity_qps: optional per-node capacity; when a node is saturated
+            within the current accounting window, requests spill to the
+            next node on the ring (bounded-load consistent hashing).
+        seed: hash seed.
+    """
+
+    def __init__(
+        self,
+        node_ids: list[int],
+        virtual_nodes: int = 64,
+        capacity_qps: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not node_ids:
+            raise ValueError("need at least one node")
+        if virtual_nodes <= 0:
+            raise ValueError("virtual_nodes must be positive")
+        self.node_ids = list(node_ids)
+        self.capacity_qps = capacity_qps
+        rng = np.random.default_rng(seed)
+        points = []
+        for node in self.node_ids:
+            for v in range(virtual_nodes):
+                # deterministic ring position per (node, replica)
+                h = hash((node, v, seed)) % (1 << 32)
+                points.append((h, node))
+        points.sort()
+        self._ring_keys = np.array([p[0] for p in points], dtype=np.uint64)
+        self._ring_nodes = np.array([p[1] for p in points], dtype=np.int64)
+        self.stats = RouterStats()
+        self._window_load: dict[int, int] = {n: 0 for n in self.node_ids}
+
+    # ---------------------------------------------------------------- basics
+    def _ring_lookup(self, key_hash: int) -> int:
+        idx = int(np.searchsorted(self._ring_keys, key_hash % (1 << 32)))
+        if idx == len(self._ring_keys):
+            idx = 0
+        return idx
+
+    def route_one(self, routing_key: int) -> int:
+        """Route a single request key to a node id."""
+        idx = self._ring_lookup(hash((int(routing_key), "k")) % (1 << 32))
+        for probe in range(len(self._ring_nodes)):
+            node = int(self._ring_nodes[(idx + probe) % len(self._ring_nodes)])
+            if (
+                self.capacity_qps is None
+                or self._window_load[node] < self.capacity_qps
+            ):
+                self._window_load[node] += 1
+                if probe == 0:
+                    self.stats.routed += 1
+                else:
+                    self.stats.spilled += 1
+                return node
+        # everything saturated: take the home node anyway
+        node = int(self._ring_nodes[idx])
+        self._window_load[node] += 1
+        self.stats.spilled += 1
+        return node
+
+    def route(self, routing_keys: np.ndarray) -> np.ndarray:
+        """Vector routing; returns the node id per request."""
+        return np.array(
+            [self.route_one(int(k)) for k in np.asarray(routing_keys)],
+            dtype=np.int64,
+        )
+
+    def reset_window(self) -> None:
+        """Start a new load-accounting window (e.g. every second)."""
+        for node in self._window_load:
+            self._window_load[node] = 0
+
+    # -------------------------------------------------------------- analysis
+    def load_split(self, routing_keys: np.ndarray) -> dict[int, float]:
+        """Fraction of the given traffic landing on each node."""
+        assignment = self.route(np.asarray(routing_keys))
+        total = len(assignment)
+        return {
+            int(n): float((assignment == n).sum()) / total
+            for n in self.node_ids
+        }
+
+    def imbalance(self, routing_keys: np.ndarray) -> float:
+        """Max-over-mean node share (1.0 = perfectly balanced)."""
+        split = self.load_split(routing_keys)
+        shares = np.array(list(split.values()))
+        return float(shares.max() / shares.mean()) if shares.mean() else 0.0
+
+    def remap_fraction(self, other: "ConsistentHashRouter", keys: np.ndarray) -> float:
+        """Fraction of keys that change nodes between two ring layouts.
+
+        Consistent hashing's selling point: adding/removing a node remaps
+        only ~1/N of traffic, keeping node-local adaptation (and caches)
+        warm for everyone else.
+        """
+        mine = self.route(np.asarray(keys))
+        theirs = other.route(np.asarray(keys))
+        return float((mine != theirs).mean())

@@ -1,0 +1,19 @@
+"""Model-update strategies: the NoUpdate/DeltaUpdate/QuickUpdate baselines.
+
+LiveUpdate itself lives in :mod:`repro.core.liveupdate` (it is the paper's
+contribution, not a baseline) but implements the same
+:class:`~repro.strategies.base.UpdateStrategy` interface.
+"""
+
+from .base import UpdateCost, UpdateStrategy
+from .delta_update import DeltaUpdate
+from .no_update import NoUpdate
+from .quick_update import QuickUpdate
+
+__all__ = [
+    "UpdateStrategy",
+    "UpdateCost",
+    "NoUpdate",
+    "DeltaUpdate",
+    "QuickUpdate",
+]

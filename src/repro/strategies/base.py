@@ -1,0 +1,95 @@
+"""Common interface for model-update strategies.
+
+A strategy decides how fresh parameters reach the serving replica.  The
+experiment harness drives a shared protocol:
+
+* :meth:`on_serving_batch` — observe every served batch (LiveUpdate logs it
+  into its training buffer; baselines ignore it);
+* :meth:`on_update_window` — the periodic (5/10/20-minute) update action;
+* :meth:`on_full_sync` — the hourly full-parameter re-anchor (used by
+  QuickUpdate and LiveUpdate to bound drift, per Fig. 8);
+* :meth:`overlay` — optional embedding adjustment applied on the inference
+  path (LiveUpdate's ``W_base[i] + A[i] B``).
+
+Costs are returned as :class:`UpdateCost` records: bytes moved over the
+inter-cluster link, the transfer (or local compute) seconds, and rows
+touched — the raw numbers behind Fig. 14.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..data.synthetic import Batch
+
+__all__ = ["UpdateCost", "UpdateStrategy"]
+
+
+@dataclass
+class UpdateCost:
+    """Cost of one update action."""
+
+    kind: str
+    seconds: float = 0.0
+    bytes_moved: float = 0.0
+    rows: int = 0
+
+    @staticmethod
+    def zero(kind: str = "none") -> "UpdateCost":
+        return UpdateCost(kind=kind)
+
+    def __add__(self, other: "UpdateCost") -> "UpdateCost":
+        return UpdateCost(
+            kind=self.kind,
+            seconds=self.seconds + other.seconds,
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+            rows=self.rows + other.rows,
+        )
+
+
+class UpdateStrategy(abc.ABC):
+    """Base class; subclasses implement one update policy."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.cost_log: list[UpdateCost] = []
+
+    # ------------------------------------------------------------- callbacks
+    def on_serving_batch(self, batch: Batch) -> None:
+        """Observe served traffic (default: ignore)."""
+
+    def on_slot(self, now: float) -> None:
+        """Fine-grained time tick between windows (default: nothing).
+
+        LiveUpdate trains continuously here — its trainer runs at its own
+        cadence inside the node, independent of the inter-cluster window.
+        Baselines can only act at window boundaries because their updates
+        ride the parameter-server path.
+        """
+
+    @abc.abstractmethod
+    def on_update_window(self, now: float) -> UpdateCost:
+        """Perform the periodic update; returns its cost."""
+
+    def on_full_sync(self, now: float) -> UpdateCost:
+        """Hourly full-parameter re-anchor (default: nothing)."""
+        return UpdateCost.zero("full-sync-noop")
+
+    def overlay(self):
+        """Embedding overlay for the inference path (default: none)."""
+        return None
+
+    # ------------------------------------------------------------ accounting
+    def record(self, cost: UpdateCost) -> UpdateCost:
+        self.cost_log.append(cost)
+        return cost
+
+    @property
+    def total_update_seconds(self) -> float:
+        return sum(c.seconds for c in self.cost_log)
+
+    @property
+    def total_bytes_moved(self) -> float:
+        return sum(c.bytes_moved for c in self.cost_log)

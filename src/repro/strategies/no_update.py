@@ -1,0 +1,20 @@
+"""NoUpdate baseline: serve the initial model forever.
+
+Zero update cost, maximal staleness — the accuracy lower bound and
+performance upper bound of Section V-A.
+"""
+
+from __future__ import annotations
+
+from .base import UpdateCost, UpdateStrategy
+
+__all__ = ["NoUpdate"]
+
+
+class NoUpdate(UpdateStrategy):
+    """Never updates the serving replica."""
+
+    name = "NoUpdate"
+
+    def on_update_window(self, now: float) -> UpdateCost:
+        return self.record(UpdateCost.zero("no-update"))

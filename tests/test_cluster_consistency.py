@@ -1,0 +1,104 @@
+"""Tests for fleet replica-consistency checking."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.consistency import (
+    check_prediction_consistency,
+    parameter_divergence,
+)
+from repro.data.synthetic import Batch, DriftingCTRStream, StreamConfig
+from repro.dlrm.model import DLRM, DLRMConfig
+from repro.dlrm.optim import SGD
+
+TABLE_SIZES = (50, 40)
+
+
+def _model(seed=0):
+    return DLRM(
+        DLRMConfig(
+            num_dense=3,
+            embedding_dim=4,
+            table_sizes=TABLE_SIZES,
+            bottom_mlp=(8,),
+            top_mlp=(8,),
+            seed=seed,
+        )
+    )
+
+
+def _probe(seed=1):
+    stream = DriftingCTRStream(
+        StreamConfig(table_sizes=TABLE_SIZES, num_dense=3, seed=seed)
+    )
+    return stream.next_batch(32)
+
+
+class TestPredictionConsistency:
+    def test_identical_replicas_consistent(self):
+        base = _model()
+        fleet = [base.copy() for _ in range(3)]
+        report = check_prediction_consistency(fleet, _probe())
+        assert report.consistent
+        assert report.max_prediction_gap == pytest.approx(0.0, abs=1e-15)
+        assert "CONSISTENT" in report.summary
+
+    def test_diverged_replica_detected(self):
+        base = _model()
+        fleet = [base.copy() for _ in range(3)]
+        probe = _probe()
+        fleet[2].train_step(
+            probe.dense, probe.sparse_ids, probe.labels, SGD(lr=0.5)
+        )
+        report = check_prediction_consistency(fleet, probe)
+        assert not report.consistent
+        assert 2 in report.worst_pair
+        assert "DIVERGED" in report.summary
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            check_prediction_consistency([], _probe())
+
+    def test_overlay_alignment_checked(self):
+        fleet = [_model(), _model()]
+        with pytest.raises(ValueError):
+            check_prediction_consistency(fleet, _probe(), overlays=[None])
+
+    def test_overlays_participate(self):
+        base = _model()
+        fleet = [base.copy(), base.copy()]
+
+        def shifted(field, ids, rows):
+            return rows + 0.5
+
+        report = check_prediction_consistency(
+            fleet, _probe(), overlays=[None, shifted]
+        )
+        assert not report.consistent
+
+    def test_tolerance_respected(self):
+        base = _model()
+        fleet = [base.copy(), base.copy()]
+        fleet[1].embeddings[0].weight += 1e-12
+        report = check_prediction_consistency(fleet, _probe(), tolerance=1e-6)
+        assert report.consistent
+
+
+class TestParameterDivergence:
+    def test_single_model_empty(self):
+        assert parameter_divergence([_model()]) == {}
+
+    def test_localizes_divergence(self):
+        base = _model()
+        fleet = [base.copy(), base.copy()]
+        fleet[1].embeddings[1].weight[0] += 2.0
+        div = parameter_divergence(fleet)
+        assert div["table_1"] == pytest.approx(2.0)
+        assert div["table_0"] == pytest.approx(0.0)
+        assert div["dense"] == pytest.approx(0.0)
+
+    def test_dense_divergence_reported(self):
+        base = _model()
+        fleet = [base.copy(), base.copy()]
+        fleet[0].top.weights[0] += 0.25
+        assert parameter_divergence(fleet)["dense"] == pytest.approx(0.25)

@@ -1,0 +1,96 @@
+"""Tests for the network model and collective cost models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.collectives import (
+    CollectiveCostModel,
+    allgather_naive_seconds,
+    allgather_ring_seconds,
+    allgather_tree_seconds,
+    fit_log_trend,
+)
+from repro.cluster.network import GBE_100, INFINIBAND_EDR, NetworkLink
+
+TB = 1024 ** 4
+GB = 1024 ** 3
+
+
+class TestNetworkLink:
+    def test_paper_example_20tb_over_100gbe(self):
+        """Syncing 20 TB over 100GbE takes over 26 minutes (Section I)."""
+        seconds = GBE_100.transfer_seconds(20 * TB)
+        assert seconds > 26 * 60
+
+    def test_paper_example_200tb_over_4_hours(self):
+        """Full 200 TB sync takes over four hours (Section II-C)."""
+        assert GBE_100.transfer_seconds(200 * TB) > 4 * 3600
+
+    def test_zero_volume_costs_latency_only(self):
+        assert GBE_100.transfer_seconds(0) == pytest.approx(
+            GBE_100.latency_ms / 1e3
+        )
+
+    def test_contention_slows_transfer(self):
+        base = GBE_100.transfer_seconds(1 * GB)
+        contended = GBE_100.transfer_seconds(1 * GB, contention=0.5)
+        assert contended > 1.9 * base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GBE_100.transfer_seconds(-1)
+        with pytest.raises(ValueError):
+            GBE_100.transfer_seconds(1, contention=1.0)
+
+    def test_scaled_link(self):
+        double = GBE_100.scaled(2.0)
+        assert double.bytes_per_second == pytest.approx(
+            2 * GBE_100.bytes_per_second
+        )
+
+
+class TestCollectives:
+    def test_single_node_free(self):
+        m = CollectiveCostModel()
+        assert m.allgather_tree(1, 1e9) == 0.0
+        assert m.allgather_ring(1, 1e9) == 0.0
+        assert m.tree_merge(1, 1e9) == 0.0
+        assert m.broadcast_tree(1, 1e9) == 0.0
+
+    def test_tree_beats_naive(self):
+        for n in (4, 8, 16):
+            assert allgather_tree_seconds(n, 1 * GB) < allgather_naive_seconds(
+                n, 1 * GB
+            )
+
+    def test_ring_linear_in_nodes(self):
+        t8 = allgather_ring_seconds(8, 1 * GB)
+        t16 = allgather_ring_seconds(16, 1 * GB)
+        assert t16 / t8 == pytest.approx(15 / 7, rel=0.01)
+
+    def test_tree_merge_logarithmic(self):
+        m = CollectiveCostModel(INFINIBAND_EDR)
+        t4 = m.tree_merge(4, 1 * GB)
+        t16 = m.tree_merge(16, 1 * GB)
+        t64 = m.tree_merge(64, 1 * GB)
+        # doubling log2(N) doubles the time
+        assert t16 == pytest.approx(2 * t4, rel=0.01)
+        assert t64 == pytest.approx(3 * t4, rel=0.01)
+
+    def test_invalid_node_count(self):
+        m = CollectiveCostModel()
+        with pytest.raises(ValueError):
+            m.allgather_tree(0, 1)
+
+
+class TestLogTrendFit:
+    def test_recovers_known_trend(self):
+        nodes = np.array([2, 4, 8, 16])
+        times = 3.0 + 2.0 * np.log2(nodes)
+        a, b = fit_log_trend(nodes, times)
+        assert a == pytest.approx(3.0)
+        assert b == pytest.approx(2.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_log_trend(np.array([2]), np.array([1.0]))

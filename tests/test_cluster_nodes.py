@@ -1,0 +1,115 @@
+"""Tests for TrainingCluster and InferenceNode actors."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.nodes import InferenceNode, TrainingCluster
+from repro.cluster.parameter_server import ParameterServer
+from repro.data.synthetic import DriftingCTRStream, StreamConfig
+from repro.dlrm.model import DLRM, DLRMConfig
+
+
+@pytest.fixture
+def world():
+    table_sizes = (50, 40)
+    model = DLRM(
+        DLRMConfig(
+            num_dense=3,
+            embedding_dim=4,
+            table_sizes=table_sizes,
+            bottom_mlp=(8,),
+            top_mlp=(8,),
+            seed=0,
+        )
+    )
+    stream = DriftingCTRStream(
+        StreamConfig(table_sizes=table_sizes, num_dense=3, seed=1)
+    )
+    server = ParameterServer(row_bytes=4 * 8)
+    trainer = TrainingCluster(model.copy(), server)
+    node = InferenceNode(model.copy(), server)
+    return stream, trainer, node
+
+
+class TestTrainingCluster:
+    def test_training_returns_loss(self, world):
+        stream, trainer, _ = world
+        loss = trainer.train_on(stream.next_batch(16))
+        assert loss > 0
+        assert trainer.steps_trained == 1
+
+    def test_publish_changed_rows(self, world):
+        stream, trainer, _ = world
+        trainer.train_on(stream.next_batch(16))
+        report = trainer.publish_changed_rows()
+        assert report.rows_pushed > 0
+        assert report.bytes_pushed == report.rows_pushed * 32
+        assert report.transfer_seconds > 0
+        # touch log resets after publish
+        assert trainer.publish_changed_rows().rows_pushed == 0
+
+    def test_frozen_dense_training(self, world):
+        stream, trainer, _ = world
+        before = trainer.model.bottom.weights[0].copy()
+        trainer.train_on(stream.next_batch(16), update_dense=False)
+        np.testing.assert_array_equal(before, trainer.model.bottom.weights[0])
+
+
+class TestInferenceNode:
+    def test_predict_shape(self, world):
+        stream, _, node = world
+        batch = stream.next_batch(8)
+        assert node.predict(batch).shape == (8,)
+
+    def test_pull_applies_published_rows(self, world):
+        stream, trainer, node = world
+        trainer.train_on(stream.next_batch(32))
+        trainer.publish_changed_rows()
+        assert node.staleness_versions() > 0
+        report = node.pull_updates()
+        assert report.rows_pulled > 0
+        assert node.staleness_versions() == 0
+        # node's pulled rows now match the trainer's
+        changed = np.array(
+            sorted(
+                set(node.model.embeddings[0].touched_rows().tolist())
+            )
+        )
+        if changed.size:
+            np.testing.assert_allclose(
+                node.model.embeddings[0].weight[changed],
+                trainer.model.embeddings[0].weight[changed],
+            )
+
+    def test_pull_with_filter(self, world):
+        stream, trainer, node = world
+        trainer.train_on(stream.next_batch(32))
+        trainer.publish_changed_rows()
+        report = node.pull_updates(row_filter=np.array([0, 1, 2]))
+        assert report.rows_pulled <= 3 * 2  # per table
+
+    def test_pull_nothing_is_cheap(self, world):
+        _, _, node = world
+        report = node.pull_updates()
+        assert report.rows_pulled == 0
+        assert report.transfer_seconds == 0.0
+
+    def test_adopt_model_copies_state(self, world):
+        stream, trainer, node = world
+        for _ in range(5):
+            trainer.train_on(stream.next_batch(32))
+        node.adopt_model(trainer.model)
+        np.testing.assert_allclose(
+            node.model.embeddings[0].weight,
+            trainer.model.embeddings[0].weight,
+        )
+        batch = stream.next_batch(8)
+        np.testing.assert_allclose(
+            node.predict(batch), trainer.model.predict(batch.dense, batch.sparse_ids)
+        )
+
+    def test_pull_log_grows(self, world):
+        _, _, node = world
+        node.pull_updates()
+        node.pull_updates()
+        assert len(node.pull_log) == 2

@@ -1,0 +1,82 @@
+"""Tests for the versioned parameter server."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.parameter_server import ParameterServer
+
+
+@pytest.fixture
+def ps():
+    return ParameterServer(num_shards=4, row_bytes=32)
+
+
+class TestPublish:
+    def test_version_bumps_per_batch(self, ps):
+        v1 = ps.publish_batch("t", np.array([0, 1]), np.zeros((2, 4)))
+        v2 = ps.publish_batch("t", np.array([2]), np.zeros((1, 4)))
+        assert (v1, v2) == (1, 2)
+
+    def test_length_mismatch_raises(self, ps):
+        with pytest.raises(ValueError):
+            ps.publish_batch("t", np.array([0]), np.zeros((2, 4)))
+
+    def test_write_stats_accumulate(self, ps):
+        ps.publish_batch("t", np.arange(8), np.zeros((8, 4)))
+        written = sum(s.rows_written for s in ps.shard_stats)
+        assert written == 8
+        assert sum(s.bytes_written for s in ps.shard_stats) == 8 * 32
+
+    def test_total_bytes(self, ps):
+        ps.publish_batch("t", np.arange(5), np.zeros((5, 4)))
+        assert ps.total_bytes == 5 * 32
+        assert len(ps) == 5
+
+
+class TestPull:
+    def test_pull_rows_found_and_missing(self, ps):
+        ps.publish_batch("t", np.array([3]), np.full((1, 4), 7.0))
+        mask, rows = ps.pull_rows("t", np.array([3, 9]))
+        assert mask.tolist() == [True, False]
+        np.testing.assert_array_equal(rows[0], np.full(4, 7.0))
+        np.testing.assert_array_equal(rows[1], np.zeros(4))
+
+    def test_pull_rows_all_missing(self, ps):
+        mask, rows = ps.pull_rows("t", np.array([1, 2]))
+        assert not mask.any()
+
+    def test_pull_delta_since_version(self, ps):
+        ps.publish_batch("t", np.array([0]), np.zeros((1, 4)))
+        v = ps.version
+        ps.publish_batch("t", np.array([1, 2]), np.ones((2, 4)))
+        idx, rows, now = ps.pull_delta("t", since_version=v)
+        assert idx.tolist() == [1, 2]
+        assert now == ps.version
+
+    def test_pull_delta_empty(self, ps):
+        idx, rows, v = ps.pull_delta("t", since_version=ps.version)
+        assert idx.size == 0
+
+    def test_rewrite_advances_row_version(self, ps):
+        ps.publish_batch("t", np.array([0]), np.zeros((1, 4)))
+        v = ps.version
+        ps.publish_batch("t", np.array([0]), np.ones((1, 4)))
+        idx, rows, _ = ps.pull_delta("t", since_version=v)
+        assert idx.tolist() == [0]
+        np.testing.assert_array_equal(rows[0], np.ones(4))
+
+    def test_tables_are_namespaced(self, ps):
+        ps.publish_batch("a", np.array([0]), np.zeros((1, 4)))
+        idx, _, _ = ps.pull_delta("b", since_version=0)
+        assert idx.size == 0
+
+    def test_delta_volume_matches_pull(self, ps):
+        ps.publish_batch("t", np.arange(6), np.zeros((6, 4)))
+        assert ps.delta_volume_bytes("t", 0) == 6 * 32
+
+    def test_published_rows_are_copies(self, ps):
+        rows = np.zeros((1, 4))
+        ps.publish_batch("t", np.array([0]), rows)
+        rows += 99.0
+        _, pulled = ps.pull_rows("t", np.array([0]))
+        np.testing.assert_array_equal(pulled[0], np.zeros(4))

@@ -1,0 +1,137 @@
+"""Tests for the model version manager (gating, promotion, rollback)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.version_manager import ModelVersionManager
+from repro.data.synthetic import DriftingCTRStream, StreamConfig
+from repro.dlrm.model import DLRM, DLRMConfig
+from repro.dlrm.optim import SGD
+
+TABLE_SIZES = (60, 40)
+
+
+def _model(seed=0):
+    return DLRM(
+        DLRMConfig(
+            num_dense=3,
+            embedding_dim=4,
+            table_sizes=TABLE_SIZES,
+            bottom_mlp=(8,),
+            top_mlp=(8,),
+            seed=seed,
+        )
+    )
+
+
+def _batch(seed=1, n=64):
+    stream = DriftingCTRStream(
+        StreamConfig(table_sizes=TABLE_SIZES, num_dense=3, seed=seed)
+    )
+    return stream.next_batch(n)
+
+
+class TestRegistration:
+    def test_versions_increment(self):
+        mgr = ModelVersionManager()
+        m = _model()
+        v1 = mgr.register(m, now=0.0)
+        v2 = mgr.register(m, now=10.0)
+        assert (v1.version, v2.version) == (1, 2)
+
+    def test_retention_evicts_oldest(self):
+        mgr = ModelVersionManager(max_versions=2)
+        m = _model()
+        for i in range(4):
+            mgr.register(m, now=float(i))
+        assert mgr.versions == [3, 4]
+        with pytest.raises(KeyError):
+            mgr.get(1)
+
+    def test_serving_version_never_evicted(self):
+        mgr = ModelVersionManager(max_versions=2)
+        m = _model()
+        v1 = mgr.register(m, now=0.0)
+        mgr.promote(v1.version, [m])
+        for i in range(4):
+            mgr.register(m, now=float(i + 1))
+        assert 1 in mgr.versions
+
+    def test_min_retention_validated(self):
+        with pytest.raises(ValueError):
+            ModelVersionManager(max_versions=1)
+
+
+class TestGateAndPromotion:
+    def test_gate_passes_on_improvement(self):
+        mgr = ModelVersionManager(gate_tolerance=0.005)
+        m = _model()
+        rec = mgr.register(m, now=0.0)
+        result = mgr.canary_gate(rec.version, canary_auc=0.71, reference_auc=0.70)
+        assert result.passed
+        assert result.auc_delta == pytest.approx(0.01)
+
+    def test_gate_blocks_regression(self):
+        mgr = ModelVersionManager(gate_tolerance=0.005)
+        m = _model()
+        rec = mgr.register(m, now=0.0)
+        result = mgr.canary_gate(rec.version, canary_auc=0.68, reference_auc=0.70)
+        assert not result.passed
+
+    def test_promote_restores_fleet(self):
+        mgr = ModelVersionManager()
+        source = _model()
+        rec = mgr.register(source, now=0.0)
+        # fleet then drifts
+        fleet = [source.copy(), source.copy()]
+        batch = _batch()
+        fleet[0].train_step(batch.dense, batch.sparse_ids, batch.labels, SGD(0.5))
+        count = mgr.promote(rec.version, fleet)
+        assert count == 2
+        np.testing.assert_allclose(
+            fleet[0].embeddings[0].weight, source.embeddings[0].weight
+        )
+        assert mgr.serving_version == rec.version
+
+    def test_promote_if_healthy_full_path(self):
+        mgr = ModelVersionManager(gate_tolerance=0.05)
+        base = _model()
+        batch = _batch()
+        # candidate: slightly trained (should not regress catastrophically)
+        candidate = base.copy()
+        candidate.train_step(
+            batch.dense, batch.sparse_ids, batch.labels, SGD(0.01)
+        )
+        rec = mgr.register(candidate, now=0.0)
+        fleet = [base.copy(), base.copy()]
+        result = mgr.promote_if_healthy(rec.version, fleet, batch)
+        assert isinstance(result.passed, bool)
+        if result.passed:
+            assert mgr.serving_version == rec.version
+
+
+class TestRollback:
+    def test_rollback_to_previous_promoted(self):
+        mgr = ModelVersionManager()
+        good = _model(seed=0)
+        rec_good = mgr.register(good, now=0.0)
+        bad = _model(seed=9)
+        rec_bad = mgr.register(bad, now=10.0)
+        fleet = [good.copy()]
+        mgr.promote(rec_good.version, fleet)
+        mgr.promote(rec_bad.version, fleet)
+        target = mgr.rollback(fleet)
+        assert target == rec_good.version
+        np.testing.assert_allclose(
+            fleet[0].embeddings[0].weight, good.embeddings[0].weight
+        )
+        assert mgr.get(rec_bad.version).rolled_back
+
+    def test_rollback_requires_history(self):
+        mgr = ModelVersionManager()
+        with pytest.raises(RuntimeError):
+            mgr.rollback([_model()])
+        rec = mgr.register(_model(), now=0.0)
+        mgr.promote(rec.version, [_model()])
+        with pytest.raises(RuntimeError):
+            mgr.rollback([_model()])

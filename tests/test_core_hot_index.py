@@ -1,0 +1,90 @@
+"""Tests for the Hot Index Filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.hot_index import HotIndexFilter
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotIndexFilter(0)
+        with pytest.raises(ValueError):
+            HotIndexFilter(1, expiry_s=0)
+
+    def test_unmarked_ids_cold(self):
+        f = HotIndexFilter(2)
+        mask = f.is_hot(0, np.array([1, 2, 3]))
+        assert not mask.any()
+
+    def test_marked_ids_hot(self):
+        f = HotIndexFilter(2)
+        f.mark(0, np.array([1, 3]))
+        mask = f.is_hot(0, np.array([1, 2, 3]))
+        assert mask.tolist() == [True, False, True]
+
+    def test_fields_independent(self):
+        f = HotIndexFilter(2)
+        f.mark(0, np.array([1]))
+        assert not f.is_hot(1, np.array([1])).any()
+
+    def test_callable_alias(self):
+        f = HotIndexFilter(1)
+        f.mark(0, np.array([4]))
+        assert f(0, np.array([4])).all()
+
+    def test_clear_one_field(self):
+        f = HotIndexFilter(2)
+        f.mark(0, np.array([1]))
+        f.mark(1, np.array([2]))
+        f.clear(0)
+        assert not f.is_hot(0, np.array([1])).any()
+        assert f.is_hot(1, np.array([2])).all()
+
+    def test_clear_all(self):
+        f = HotIndexFilter(2)
+        f.mark(0, np.array([1]))
+        f.clear()
+        assert f.hot_count(0) == 0
+
+
+class TestExpiry:
+    def test_entries_expire(self):
+        f = HotIndexFilter(1, expiry_s=10.0)
+        f.mark(0, np.array([1]), now=0.0)
+        assert f.is_hot(0, np.array([1])).all()
+        f.advance(20.0)
+        assert not f.is_hot(0, np.array([1])).any()
+
+    def test_remarking_refreshes(self):
+        f = HotIndexFilter(1, expiry_s=10.0)
+        f.mark(0, np.array([1]), now=0.0)
+        f.mark(0, np.array([1]), now=8.0)
+        f.advance(15.0)
+        assert f.is_hot(0, np.array([1])).all()
+
+    def test_hot_count_respects_expiry(self):
+        f = HotIndexFilter(1, expiry_s=10.0)
+        f.mark(0, np.array([1]), now=0.0)
+        f.mark(0, np.array([2]), now=9.0)
+        f.advance(12.0)
+        assert f.hot_count(0) == 1
+
+    def test_sweep_removes_expired(self):
+        f = HotIndexFilter(1, expiry_s=5.0)
+        f.mark(0, np.array([1, 2]), now=0.0)
+        f.advance(10.0)
+        assert f.sweep() == 2
+        assert len(f._marked[0]) == 0
+
+    def test_sweep_noop_without_expiry(self):
+        f = HotIndexFilter(1)
+        f.mark(0, np.array([1]))
+        assert f.sweep() == 0
+
+    def test_clock_never_goes_backwards(self):
+        f = HotIndexFilter(1, expiry_s=10.0)
+        f.advance(100.0)
+        f.mark(0, np.array([1]), now=50.0)  # stale stamp ignored for clock
+        assert f.is_hot(0, np.array([1])).all()

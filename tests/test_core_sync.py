@@ -1,0 +1,161 @@
+"""Tests for Algorithm 3: sparse data-parallel LoRA with priority merge."""
+
+import numpy as np
+import pytest
+
+from repro.core.sync import SparseLoRASynchronizer, priority_merge
+from repro.core.trainer import LoRATrainer, TrainerConfig
+from repro.data.stream import InferenceLogBuffer
+from repro.data.synthetic import DriftingCTRStream, StreamConfig
+from repro.dlrm.model import DLRM, DLRMConfig
+
+TABLE_SIZES = (80, 60)
+
+
+def _make_trainers(n, seed=0):
+    model = DLRM(
+        DLRMConfig(
+            num_dense=3,
+            embedding_dim=8,
+            table_sizes=TABLE_SIZES,
+            bottom_mlp=(8,),
+            top_mlp=(8,),
+            seed=seed,
+        )
+    )
+    trainers = []
+    for r in range(n):
+        trainers.append(
+            LoRATrainer(
+                model.copy(),
+                InferenceLogBuffer(600),
+                TrainerConfig(
+                    rank=4,
+                    dynamic_rank=False,
+                    dynamic_prune=False,
+                    lr=0.1,
+                    seed=r,
+                ),
+            )
+        )
+    return trainers
+
+
+def _stream(seed=1):
+    return DriftingCTRStream(
+        StreamConfig(table_sizes=TABLE_SIZES, num_dense=3, seed=seed)
+    )
+
+
+class TestPriorityMerge:
+    def test_highest_rank_wins(self):
+        merged = priority_merge(
+            [
+                {1: np.array([1.0]), 2: np.array([1.0])},
+                {1: np.array([2.0])},
+                {2: np.array([3.0])},
+            ]
+        )
+        assert merged[1][0] == 2.0  # rank 1 beats rank 0
+        assert merged[2][0] == 3.0  # rank 2 beats rank 0
+
+    def test_disjoint_union(self):
+        merged = priority_merge(
+            [{1: np.array([1.0])}, {2: np.array([2.0])}]
+        )
+        assert set(merged) == {1, 2}
+
+    def test_empty(self):
+        assert priority_merge([]) == {}
+
+
+class TestSynchronizer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparseLoRASynchronizer([], sync_interval=4)
+        with pytest.raises(ValueError):
+            SparseLoRASynchronizer(_make_trainers(1), sync_interval=0)
+
+    def test_sync_fires_on_interval(self):
+        trainers = _make_trainers(2)
+        sync = SparseLoRASynchronizer(trainers, sync_interval=3)
+        stream = _stream()
+        for step in range(6):
+            batches = []
+            for _ in range(2):
+                b = stream.next_batch(32)
+                batches.append((b.dense, b.sparse_ids, b.labels))
+            sync.step_all(batches)
+        assert sync.rounds == 2
+        assert len(sync.reports) == 2
+
+    def test_replicas_converge_after_sync(self):
+        trainers = _make_trainers(2)
+        sync = SparseLoRASynchronizer(trainers, sync_interval=100)
+        stream = _stream()
+        for _ in range(5):
+            batches = []
+            for _ in range(2):
+                b = stream.next_batch(32)
+                batches.append((b.dense, b.sparse_ids, b.labels))
+            sync.step_all(batches)
+        diverged = sync.replica_divergence(0)
+        assert diverged > 0
+        sync.sync()
+        converged = sync.replica_divergence(0)
+        assert converged < diverged * 0.1
+
+    def test_sync_report_accounting(self):
+        trainers = _make_trainers(2)
+        sync = SparseLoRASynchronizer(trainers, sync_interval=1)
+        stream = _stream()
+        b = stream.next_batch(32)
+        batches = [(b.dense, b.sparse_ids, b.labels)] * 2
+        sync.step_all(batches)
+        report = sync.reports[0]
+        assert report.merged_rows > 0
+        assert report.bytes_exchanged > 0
+        assert report.total_seconds > 0
+
+    def test_supports_cleared_after_sync(self):
+        trainers = _make_trainers(2)
+        sync = SparseLoRASynchronizer(trainers, sync_interval=1)
+        stream = _stream()
+        b = stream.next_batch(16)
+        sync.step_all([(b.dense, b.sparse_ids, b.labels)] * 2)
+        assert all(
+            not s for rank_s in sync._supports for s in rank_s
+        )
+
+    def test_single_rank_sync_is_trivial(self):
+        trainers = _make_trainers(1)
+        sync = SparseLoRASynchronizer(trainers, sync_interval=1)
+        stream = _stream()
+        b = stream.next_batch(16)
+        sync.step_all([(b.dense, b.sparse_ids, b.labels)])
+        assert sync.replica_divergence(0) == 0.0
+
+    def test_merged_values_propagate_to_all_ranks(self):
+        trainers = _make_trainers(3)
+        sync = SparseLoRASynchronizer(trainers, sync_interval=100)
+        stream = _stream()
+        # only rank 2 trains
+        b = stream.next_batch(32)
+        sync.local_step(2, b.dense, b.sparse_ids, b.labels)
+        sync.sync()
+        ids = trainers[2].lora[0].active_ids
+        if ids.size:
+            src = trainers[2].lora[0].delta_rows(ids)
+            for other in (0, 1):
+                np.testing.assert_allclose(
+                    trainers[other].lora[0].delta_rows(ids), src, atol=1e-9
+                )
+
+    def test_losses_returned_per_rank(self):
+        trainers = _make_trainers(2)
+        sync = SparseLoRASynchronizer(trainers, sync_interval=10)
+        stream = _stream()
+        b = stream.next_batch(16)
+        losses = sync.step_all([(b.dense, b.sparse_ids, b.labels)] * 2)
+        assert len(losses) == 2
+        assert all(l > 0 for l in losses)

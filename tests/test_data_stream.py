@@ -1,0 +1,97 @@
+"""Tests for the inference-log ring buffer."""
+
+import numpy as np
+import pytest
+
+from repro.data.stream import InferenceLogBuffer
+from repro.data.synthetic import Batch
+
+
+def _batch(ts, n=4, num_dense=2, num_fields=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return Batch(
+        timestamp=ts,
+        dense=rng.normal(size=(n, num_dense)),
+        sparse_ids=rng.integers(0, 10, size=(n, num_fields)),
+        labels=rng.integers(0, 2, size=n).astype(float),
+    )
+
+
+class TestRetention:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InferenceLogBuffer(retention_s=0)
+
+    def test_appends_accumulate(self):
+        buf = InferenceLogBuffer(retention_s=100)
+        buf.append(_batch(0.0))
+        buf.append(_batch(10.0))
+        assert len(buf) == 8
+
+    def test_old_batches_evicted(self):
+        buf = InferenceLogBuffer(retention_s=100)
+        buf.append(_batch(0.0))
+        buf.append(_batch(50.0))
+        buf.append(_batch(150.0))
+        assert len(buf) == 8  # t=0 evicted (150 - 0 > 100)
+        assert buf.total_evicted == 4
+
+    def test_max_samples_cap(self):
+        buf = InferenceLogBuffer(retention_s=1e9, max_samples=10)
+        for i in range(5):
+            buf.append(_batch(float(i), n=4))
+        assert len(buf) <= 10 + 4  # at most one batch over before eviction
+        assert len(buf) == 8
+
+    def test_stats(self):
+        buf = InferenceLogBuffer(retention_s=100)
+        assert buf.stats().num_samples == 0
+        buf.append(_batch(5.0))
+        buf.append(_batch(25.0))
+        st = buf.stats(bytes_per_sample=100)
+        assert st.num_batches == 2
+        assert st.span_seconds == pytest.approx(20.0)
+        assert st.approx_bytes == 800
+
+
+class TestSampling:
+    def test_empty_buffer_returns_none(self):
+        buf = InferenceLogBuffer(retention_s=10)
+        assert buf.sample_minibatch(4, np.random.default_rng(0)) is None
+        assert buf.drain_window() is None
+
+    def test_minibatch_shapes(self):
+        buf = InferenceLogBuffer(retention_s=100)
+        buf.append(_batch(0.0, n=16))
+        mb = buf.sample_minibatch(8, np.random.default_rng(0))
+        assert mb.dense.shape == (8, 2)
+        assert mb.sparse_ids.shape == (8, 2)
+        assert mb.labels.shape == (8,)
+
+    def test_minibatch_draws_from_window_content(self):
+        buf = InferenceLogBuffer(retention_s=100)
+        b = _batch(0.0, n=16, seed=3)
+        buf.append(b)
+        mb = buf.sample_minibatch(50, np.random.default_rng(1))
+        # every sampled row must exist in the source batch
+        for row in mb.sparse_ids:
+            assert any((b.sparse_ids == row).all(axis=1))
+
+    def test_drain_window_concatenates(self):
+        buf = InferenceLogBuffer(retention_s=100)
+        buf.append(_batch(0.0, n=4))
+        buf.append(_batch(10.0, n=6))
+        drained = buf.drain_window()
+        assert drained.size == 10
+        assert drained.timestamp == 10.0
+
+    def test_sampling_spans_batches(self):
+        buf = InferenceLogBuffer(retention_s=100)
+        b1 = _batch(0.0, n=4, seed=1)
+        b2 = _batch(1.0, n=4, seed=2)
+        b1.labels[:] = 0.0
+        b2.labels[:] = 1.0
+        buf.append(b1)
+        buf.append(b2)
+        mb = buf.sample_minibatch(200, np.random.default_rng(0))
+        assert 0.0 < mb.labels.mean() < 1.0

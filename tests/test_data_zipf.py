@@ -1,0 +1,99 @@
+"""Tests for the Zipf sampler and access-distribution analysis."""
+
+import numpy as np
+import pytest
+
+from repro.data.zipf import (
+    ZipfSampler,
+    access_cdf,
+    calibrate_zipf_exponent,
+    zipf_head_share,
+)
+
+
+class TestZipfSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, exponent=0)
+
+    def test_samples_in_range(self):
+        s = ZipfSampler(100, 1.2, rng=np.random.default_rng(0))
+        ids = s.sample(10_000)
+        assert ids.min() >= 0 and ids.max() < 100
+
+    def test_skew_increases_with_exponent(self):
+        flat = ZipfSampler(1000, 0.3, rng=np.random.default_rng(0), permute=False)
+        steep = ZipfSampler(1000, 2.0, rng=np.random.default_rng(0), permute=False)
+        share_flat = np.mean(flat.sample(20_000) < 100)
+        share_steep = np.mean(steep.sample(20_000) < 100)
+        assert share_steep > share_flat
+
+    def test_unpermuted_rank_order(self):
+        s = ZipfSampler(100, 1.5, rng=np.random.default_rng(1), permute=False)
+        counts = np.bincount(s.sample(50_000), minlength=100)
+        assert counts[0] > counts[10] > counts[50]
+
+    def test_probability_of_id_sums_to_one(self):
+        s = ZipfSampler(50, 1.0, rng=np.random.default_rng(2))
+        p = s.probability_of_id(np.arange(50))
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_hot_ids_are_hottest(self):
+        s = ZipfSampler(100, 1.5, rng=np.random.default_rng(3))
+        hot = s.hot_ids(0.1)
+        assert len(hot) == 10
+        p_hot = s.probability_of_id(hot).min()
+        cold = np.setdiff1d(np.arange(100), hot)
+        assert p_hot >= s.probability_of_id(cold).max()
+
+    def test_empirical_matches_analytic_head_share(self):
+        size, exp = 2000, 1.4
+        s = ZipfSampler(size, exp, rng=np.random.default_rng(4))
+        ids = s.sample(200_000)
+        hot = set(s.hot_ids(0.10).tolist())
+        emp = np.mean([i in hot for i in ids])
+        assert emp == pytest.approx(zipf_head_share(exp, size, 0.10), abs=0.01)
+
+
+class TestHeadShare:
+    def test_full_head_is_one(self):
+        assert zipf_head_share(1.2, 100, 1.0) == pytest.approx(1.0)
+
+    def test_monotone_in_exponent(self):
+        shares = [zipf_head_share(s, 1000, 0.1) for s in (0.5, 1.0, 1.5)]
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            zipf_head_share(1.0, 100, 0.0)
+
+
+class TestCalibration:
+    def test_reproduces_paper_share(self):
+        exp = calibrate_zipf_exponent(10_000, 0.10, 0.938)
+        assert zipf_head_share(exp, 10_000, 0.10) == pytest.approx(0.938, abs=0.005)
+
+    def test_unbracketed_target_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_zipf_exponent(100, 0.5, 0.01, lo=1.0, hi=2.0)
+
+
+class TestAccessCDF:
+    def test_monotone_and_bounded(self):
+        counts = np.random.default_rng(0).integers(0, 100, 500)
+        counts[0] = 1  # ensure some accesses
+        idx_frac, acc_frac = access_cdf(counts)
+        assert np.all(np.diff(acc_frac) >= 0)
+        assert acc_frac[-1] == pytest.approx(1.0)
+        assert idx_frac[-1] == pytest.approx(1.0)
+
+    def test_no_accesses_raises(self):
+        with pytest.raises(ValueError):
+            access_cdf(np.zeros(10))
+
+    def test_skewed_counts_front_loaded(self):
+        counts = np.array([1000, 10, 10, 10, 10])
+        idx_frac, acc_frac = access_cdf(counts)
+        assert acc_frac[0] > 0.9

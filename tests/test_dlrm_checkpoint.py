@@ -1,0 +1,88 @@
+"""Tests for checkpointing and drift measurement."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm.checkpoint import Checkpoint, embedding_drift, model_drift
+from repro.dlrm.model import DLRM, DLRMConfig
+from repro.dlrm.optim import SGD
+
+
+@pytest.fixture
+def model():
+    return DLRM(
+        DLRMConfig(
+            num_dense=2,
+            embedding_dim=4,
+            table_sizes=(10, 10),
+            bottom_mlp=(4,),
+            top_mlp=(4,),
+            seed=0,
+        )
+    )
+
+
+def _train_a_bit(model, seed=1):
+    rng = np.random.default_rng(seed)
+    model.train_step(
+        rng.normal(size=(8, 2)),
+        rng.integers(0, 10, size=(8, 2)),
+        rng.integers(0, 2, size=8).astype(float),
+        SGD(lr=0.5),
+    )
+
+
+class TestCheckpoint:
+    def test_capture_restore(self, model):
+        ckpt = Checkpoint.capture(model, version=3)
+        _train_a_bit(model)
+        ckpt.restore(model)
+        np.testing.assert_allclose(
+            model.embeddings[0].weight, ckpt.state["embeddings.0.weight"]
+        )
+        assert ckpt.version == 3
+
+    def test_bytes_roundtrip(self, model):
+        ckpt = Checkpoint.capture(model, version=7)
+        blob = ckpt.to_bytes()
+        back = Checkpoint.from_bytes(blob)
+        assert back.version == 7
+        for key in ckpt.state:
+            np.testing.assert_array_equal(back.state[key], ckpt.state[key])
+
+    def test_nbytes_positive(self, model):
+        assert Checkpoint.capture(model, 0).nbytes > 0
+
+    def test_capture_is_snapshot(self, model):
+        ckpt = Checkpoint.capture(model, 0)
+        _train_a_bit(model)
+        assert not np.allclose(
+            ckpt.state["embeddings.0.weight"], model.embeddings[0].weight
+        )
+
+
+class TestDrift:
+    def test_identical_models_zero_drift(self, model):
+        assert embedding_drift(model, model.copy()) == pytest.approx(0.0)
+        d = model_drift(model, model.copy())
+        assert d["embedding_row_l2"] == pytest.approx(0.0)
+        assert d["dense_l2"] == pytest.approx(0.0)
+
+    def test_training_creates_drift(self, model):
+        dup = model.copy()
+        _train_a_bit(dup)
+        assert embedding_drift(model, dup) > 0
+        assert model_drift(model, dup)["dense_l2"] > 0
+
+    def test_mismatched_shapes_raise(self, model):
+        other = DLRM(
+            DLRMConfig(
+                num_dense=2,
+                embedding_dim=4,
+                table_sizes=(12, 10),
+                bottom_mlp=(4,),
+                top_mlp=(4,),
+            )
+        )
+        with pytest.raises(ValueError):
+            embedding_drift(model, other)

@@ -1,0 +1,77 @@
+"""Tests for the dot-product interaction layer."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm.interaction import DotInteraction
+
+
+class TestForward:
+    def test_needs_two_features(self):
+        with pytest.raises(ValueError):
+            DotInteraction(1, 4)
+
+    def test_output_dim(self):
+        inter = DotInteraction(4, 8)
+        assert inter.output_dim == 8 + 6  # d + C(4,2)
+
+    def test_pair_values_are_dot_products(self):
+        inter = DotInteraction(3, 2)
+        dense = np.array([[1.0, 0.0]])
+        e1 = np.array([[0.0, 1.0]])
+        e2 = np.array([[2.0, 2.0]])
+        out, _ = inter.forward(dense, [e1, e2])
+        # passthrough
+        np.testing.assert_array_equal(out[0, :2], dense[0])
+        # pairs in (0,1), (0,2), (1,2) order
+        assert out[0, 2] == pytest.approx(0.0)  # dense . e1
+        assert out[0, 3] == pytest.approx(2.0)  # dense . e2
+        assert out[0, 4] == pytest.approx(2.0)  # e1 . e2
+
+    def test_wrong_feature_count_raises(self):
+        inter = DotInteraction(3, 2)
+        with pytest.raises(ValueError):
+            inter.forward(np.zeros((1, 2)), [np.zeros((1, 2))] * 3)
+
+
+class TestBackward:
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        inter = DotInteraction(3, 4)
+        dense = rng.normal(size=(2, 4))
+        embs = [rng.normal(size=(2, 4)) for _ in range(2)]
+
+        def loss(d, es):
+            out, _ = inter.forward(d, es)
+            return float((out ** 2).sum())
+
+        out, stacked = inter.forward(dense, embs)
+        grad_dense, grad_embs = inter.backward(stacked, 2 * out)
+        eps = 1e-6
+
+        d2 = dense.copy()
+        d2[0, 1] += eps
+        lp = loss(d2, embs)
+        d2[0, 1] -= 2 * eps
+        lm = loss(d2, embs)
+        assert grad_dense[0, 1] == pytest.approx((lp - lm) / (2 * eps), abs=1e-5)
+
+        e2 = [e.copy() for e in embs]
+        e2[1][1, 2] += eps
+        lp = loss(dense, e2)
+        e2[1][1, 2] -= 2 * eps
+        lm = loss(dense, e2)
+        assert grad_embs[1][1, 2] == pytest.approx(
+            (lp - lm) / (2 * eps), abs=1e-5
+        )
+
+    def test_backward_shapes(self):
+        inter = DotInteraction(4, 8)
+        rng = np.random.default_rng(1)
+        dense = rng.normal(size=(3, 8))
+        embs = [rng.normal(size=(3, 8)) for _ in range(3)]
+        out, stacked = inter.forward(dense, embs)
+        grad_dense, grad_embs = inter.backward(stacked, np.ones_like(out))
+        assert grad_dense.shape == (3, 8)
+        assert len(grad_embs) == 3
+        assert all(g.shape == (3, 8) for g in grad_embs)

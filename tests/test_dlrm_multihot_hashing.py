@@ -1,0 +1,144 @@
+"""Tests for multi-hot fields, pooled layers, and feature hashing."""
+
+import numpy as np
+import pytest
+
+from repro.core.lora import LoRAAdapter
+from repro.data.zipf import ZipfSampler
+from repro.dlrm.embedding import EmbeddingTable
+from repro.dlrm.hashing import FeatureHasher, HashingConfig, collision_rate
+from repro.dlrm.multihot import MultiHotField, PooledFieldLayer
+
+
+class TestMultiHotField:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiHotField(np.array([1, 2]), np.array([0, 1]))  # bad end
+        with pytest.raises(ValueError):
+            MultiHotField(np.array([1]), np.array([1, 1]))  # bad start
+        with pytest.raises(ValueError):
+            MultiHotField(np.array([1, 2]), np.array([0, 2, 1]))  # decreasing
+
+    def test_from_lists(self):
+        f = MultiHotField.from_lists([[1, 2], [], [3]])
+        assert f.batch_size == 3
+        assert f.bag_sizes().tolist() == [2, 0, 1]
+        assert f.ids.tolist() == [1, 2, 3]
+
+    def test_sampled_bags(self):
+        sampler = ZipfSampler(100, 1.2, rng=np.random.default_rng(0))
+        f = MultiHotField.sample(
+            sampler, batch_size=16, mean_bag=4.0,
+            rng=np.random.default_rng(1),
+        )
+        assert f.batch_size == 16
+        assert (f.bag_sizes() >= 1).all()
+        assert f.ids.max() < 100
+
+
+class TestPooledFieldLayer:
+    @pytest.fixture
+    def table(self):
+        return EmbeddingTable(50, 4, rng=np.random.default_rng(0))
+
+    def test_mode_validated(self, table):
+        with pytest.raises(ValueError):
+            PooledFieldLayer(table, mode="max")
+
+    def test_mean_pooling_forward(self, table):
+        layer = PooledFieldLayer(table, mode="mean")
+        f = MultiHotField.from_lists([[1, 2]])
+        out = layer.forward(f)
+        expected = (table.weight[1] + table.weight[2]) / 2
+        np.testing.assert_allclose(out[0], expected)
+
+    def test_backward_finite_difference(self, table):
+        layer = PooledFieldLayer(table, mode="mean")
+        f = MultiHotField.from_lists([[1, 2, 2], [5]])
+
+        def loss():
+            return float((layer.forward(f) ** 2).sum())
+
+        out = layer.forward(f)
+        grad = layer.backward(f, 2 * out)
+        eps = 1e-6
+        for idx in grad.indices:
+            j = 0
+            row_pos = grad.indices.tolist().index(int(idx))
+            table.weight[idx, j] += eps
+            lp = loss()
+            table.weight[idx, j] -= 2 * eps
+            lm = loss()
+            table.weight[idx, j] += eps
+            assert grad.rows[row_pos, j] == pytest.approx(
+                (lp - lm) / (2 * eps), abs=1e-6
+            )
+
+    def test_overlay_commutes_with_pooling(self, table):
+        layer = PooledFieldLayer(table, mode="mean")
+        adapter = LoRAAdapter(dim=4, rank=2, capacity=8, rng=np.random.default_rng(1))
+        slot = adapter.activate(1)
+        adapter.a[slot] = np.ones(2)
+        f = MultiHotField.from_lists([[1, 3]])
+        adapted = layer.forward_with_overlay(f, adapter)
+        # pool(W + delta) where only id 1 has a delta
+        expected = layer.forward(f)[0] + adapter.delta_rows(np.array([1]))[0] / 2
+        np.testing.assert_allclose(adapted[0], expected)
+
+    def test_sum_pooling(self, table):
+        layer = PooledFieldLayer(table, mode="sum")
+        f = MultiHotField.from_lists([[1, 2]])
+        np.testing.assert_allclose(
+            layer.forward(f)[0], table.weight[1] + table.weight[2]
+        )
+
+
+class TestFeatureHasher:
+    def test_slots_in_range(self):
+        h = FeatureHasher(HashingConfig(num_slots=100))
+        slots = h.hash_ints(np.arange(10_000))
+        assert slots.min() >= 0 and slots.max() < 100
+
+    def test_deterministic(self):
+        h = FeatureHasher(HashingConfig(num_slots=1000, seed=3))
+        a = h.hash_ints(np.arange(100))
+        b = h.hash_ints(np.arange(100))
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_decorrelate_fields(self):
+        h1 = FeatureHasher(HashingConfig(num_slots=1000, seed=1))
+        h2 = FeatureHasher(HashingConfig(num_slots=1000, seed=2))
+        a = h1.hash_ints(np.arange(1000))
+        b = h2.hash_ints(np.arange(1000))
+        assert (a == b).mean() < 0.01
+
+    def test_distribution_roughly_uniform(self):
+        h = FeatureHasher(HashingConfig(num_slots=64))
+        counts = np.bincount(h.hash_ints(np.arange(64_000)), minlength=64)
+        assert counts.min() > 0.7 * counts.mean()
+        assert counts.max() < 1.3 * counts.mean()
+
+    def test_token_hashing(self):
+        h = FeatureHasher(HashingConfig(num_slots=1000))
+        slots = h.hash_tokens(["user:1", "user:2", "user:1"])
+        assert slots[0] == slots[2]
+        assert 0 <= slots.min() and slots.max() < 1000
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            HashingConfig(num_slots=0)
+
+
+class TestCollisionRate:
+    def test_matches_birthday_expectation(self):
+        n, m = 5000, 10_000
+        measured = collision_rate(n, m)
+        expected = 1 - (1 - 1 / m) ** (n - 1)
+        assert measured == pytest.approx(expected, abs=0.05)
+
+    def test_no_collisions_with_huge_table(self):
+        assert collision_rate(10, 1_000_000) == pytest.approx(0.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            collision_rate(0, 10)

@@ -1,0 +1,121 @@
+"""Tests for the production-scale cost model (Fig. 14 / Fig. 8)."""
+
+import pytest
+
+from repro.data.datasets import AVAZU_TB, BD_TB
+from repro.experiments.update_cost import (
+    ProductionCostModel,
+    fig8_timelines,
+    fig14_grid,
+    update_ratio,
+)
+
+TB = 1024 ** 4
+
+
+class TestUpdateRatio:
+    def test_paper_anchor_10pct_at_10min(self):
+        assert update_ratio(600) == pytest.approx(0.10, abs=0.01)
+
+    def test_monotone_saturating(self):
+        r = [update_ratio(w) for w in (300, 600, 1800, 3600, 36_000)]
+        assert all(a < b for a, b in zip(r, r[1:]))
+        assert r[-1] < 0.36
+
+    def test_zero_window(self):
+        assert update_ratio(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            update_ratio(-1)
+
+
+class TestProductionCostModel:
+    @pytest.fixture
+    def model(self):
+        return ProductionCostModel(spec=AVAZU_TB)
+
+    def test_delta_volume_scales_with_ratio(self, model):
+        assert model.delta_volume(600) == pytest.approx(
+            update_ratio(600) * 50 * TB, rel=1e-6
+        )
+
+    def test_quick_never_exceeds_delta(self, model):
+        for w in (60, 300, 600, 1200):
+            assert model.quick_volume(w) <= model.delta_volume(w) + 1
+
+    def test_delta_5min_cost_dominates(self, model):
+        """DeltaUpdate at 5-minute cadence approaches the full hour."""
+        row = model.hourly_cost("DeltaUpdate", 300)
+        assert row.total_cost_min > 40
+
+    def test_liveupdate_flat_across_frequencies(self, model):
+        costs = [
+            model.hourly_cost("LiveUpdate", w).total_cost_s
+            for w in (300, 600, 1200)
+        ]
+        assert max(costs) / min(costs) < 1.05
+
+    def test_liveupdate_beats_quick_at_high_frequency(self, model):
+        quick = model.hourly_cost("QuickUpdate", 300).total_cost_s
+        live = model.hourly_cost("LiveUpdate", 300).total_cost_s
+        assert quick > 1.8 * live  # the paper's ~2x claim
+
+    def test_quick_beats_liveupdate_at_low_frequency(self, model):
+        quick = model.hourly_cost("QuickUpdate", 1200).total_cost_s
+        live = model.hourly_cost("LiveUpdate", 1200).total_cost_s
+        assert quick < live
+
+    def test_noupdate_free(self, model):
+        assert model.hourly_cost("NoUpdate", 300).total_cost_s == 0.0
+
+    def test_unknown_method(self, model):
+        with pytest.raises(ValueError):
+            model.hourly_cost("Nonsense", 300)
+
+    def test_liveupdate_total_in_paper_band(self, model):
+        """Paper: 3-5 minutes total at the 5-minute interval."""
+        live = model.hourly_cost("LiveUpdate", 300).total_cost_min
+        assert 1.5 < live < 6.0
+
+
+class TestFig14Grid:
+    def test_grid_covers_all_cells(self):
+        grid = fig14_grid([AVAZU_TB, BD_TB])
+        assert set(grid) == {"Avazu-TB", "BD-TB"}
+        assert len(grid["Avazu-TB"]) == 3 * 4  # windows x methods
+
+    def test_ordering_at_5min_in_every_dataset(self):
+        grid = fig14_grid([AVAZU_TB, BD_TB])
+        for rows in grid.values():
+            at5 = {r.method: r.total_cost_s for r in rows if r.window_s == 300}
+            assert (
+                at5["NoUpdate"]
+                < at5["LiveUpdate"]
+                < at5["QuickUpdate"]
+                < at5["DeltaUpdate"]
+            )
+
+
+class TestFig8Timelines:
+    @pytest.fixture(scope="class")
+    def timelines(self):
+        return fig8_timelines(BD_TB)
+
+    def test_liveupdate_delivers_most_updates(self, timelines):
+        assert (
+            timelines["LiveUpdate"].updates_delivered
+            > timelines["QuickUpdate"].updates_delivered
+            > timelines["DeltaUpdate"].updates_delivered
+        )
+
+    def test_staleness_ordering(self, timelines):
+        assert (
+            timelines["LiveUpdate"].average_staleness()
+            < timelines["QuickUpdate"].average_staleness()
+            < timelines["DeltaUpdate"].average_staleness()
+        )
+
+    def test_liveupdate_subminute_updates(self, timelines):
+        durations = [e.duration_s for e in timelines["LiveUpdate"].events]
+        assert max(durations) < 60

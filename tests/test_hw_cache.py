@@ -1,0 +1,112 @@
+"""Tests for the LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cache import CacheStats, LRUCache, simulate_interleaved
+
+
+class TestLRUCache:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_miss_then_hit(self):
+        c = LRUCache(1000)
+        assert c.access("a", 100) is False
+        assert c.access("a", 100) is True
+
+    def test_eviction_at_capacity(self):
+        c = LRUCache(250)
+        c.access("a", 100)
+        c.access("b", 100)
+        c.access("c", 100)  # evicts "a"
+        assert "a" not in c
+        assert "b" in c and "c" in c
+        assert c.used_bytes <= 250
+
+    def test_lru_order_respected(self):
+        c = LRUCache(250)
+        c.access("a", 100)
+        c.access("b", 100)
+        c.access("a", 100)  # refresh a
+        c.access("c", 100)  # evicts b, not a
+        assert "a" in c and "b" not in c
+
+    def test_oversized_object_bypasses(self):
+        c = LRUCache(100)
+        assert c.access("big", 200) is False
+        assert "big" not in c
+        assert c.used_bytes == 0
+
+    def test_zero_capacity_all_miss(self):
+        c = LRUCache(0)
+        assert c.access("a", 1) is False
+        assert c.access("a", 1) is False
+
+    def test_invalidate(self):
+        c = LRUCache(1000)
+        c.access("a", 100)
+        assert c.invalidate("a") is True
+        assert c.invalidate("a") is False
+        assert c.used_bytes == 0
+
+    def test_clear(self):
+        c = LRUCache(1000)
+        c.access("a", 100)
+        c.clear()
+        assert c.num_entries == 0 and c.used_bytes == 0
+
+    def test_access_many_stats(self):
+        c = LRUCache(10_000)
+        keys = np.array([1, 2, 1, 2, 3])
+        stats = c.access_many(keys, 100)
+        assert stats.hits == 2 and stats.misses == 3
+        assert stats.hit_ratio == pytest.approx(0.4)
+
+
+class TestCacheStats:
+    def test_empty_ratio_zero(self):
+        assert CacheStats().hit_ratio == 0.0
+
+    def test_merge(self):
+        merged = CacheStats(1, 2).merge(CacheStats(3, 4))
+        assert merged.hits == 4 and merged.misses == 6
+
+
+class TestInterleaved:
+    def test_separate_caches_do_not_interact(self):
+        rng = np.random.default_rng(0)
+        hot = rng.integers(0, 50, 2000)       # fits easily
+        wide = rng.integers(0, 100_000, 2000)  # thrashes
+        a_alone = LRUCache(100 * 64)
+        sa = a_alone.access_many(hot, 64)
+        a_part, b_part = LRUCache(100 * 64), LRUCache(100 * 64)
+        sa2, _ = simulate_interleaved(a_part, b_part, hot, wide, 64)
+        assert sa2.hit_ratio == pytest.approx(sa.hit_ratio, abs=0.02)
+
+    def test_shared_cache_degrades_stream_a(self):
+        rng = np.random.default_rng(1)
+        hot = rng.integers(0, 200, 5000)
+        wide = rng.integers(0, 100_000, 20_000)
+        alone = LRUCache(300 * 64).access_many(hot, 64)
+        shared = LRUCache(300 * 64)
+        degraded, _ = simulate_interleaved(
+            shared, None, hot, wide, 64, burst_a=64, burst_b=512
+        )
+        assert degraded.hit_ratio < alone.hit_ratio
+
+    def test_key_offset_prevents_aliasing(self):
+        same = np.arange(100)
+        cache = LRUCache(10_000 * 64)
+        sa, sb = simulate_interleaved(cache, None, same, same, 64)
+        # stream B's identical ids are offset: its first touches all miss
+        assert sb.hits == 0
+
+    def test_all_accesses_accounted(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 100, 777)
+        b = rng.integers(0, 100, 333)
+        sa, sb = simulate_interleaved(LRUCache(1000), None, a, b, 10)
+        assert sa.accesses == 777
+        assert sb.accesses == 333

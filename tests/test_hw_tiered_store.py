@@ -1,0 +1,145 @@
+"""Tests for the HBM/DRAM/remote tiered embedding store."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.tiered_store import (
+    TieredEmbeddingStore,
+    TieredStoreConfig,
+    TierStats,
+)
+
+
+@pytest.fixture
+def weight():
+    return np.arange(100 * 4, dtype=float).reshape(100, 4)
+
+
+@pytest.fixture
+def store(weight):
+    return TieredEmbeddingStore(
+        weight, TieredStoreConfig(hbm_capacity_rows=10)
+    )
+
+
+class TestLookup:
+    def test_returns_correct_rows(self, store, weight):
+        rows, _ = store.lookup(np.array([3, 7]))
+        np.testing.assert_array_equal(rows[0], weight[3])
+        np.testing.assert_array_equal(rows[1], weight[7])
+
+    def test_first_touch_is_dram_then_hbm(self, store):
+        store.lookup(np.array([5]))
+        assert store.stats.dram_hits == 1
+        store.lookup(np.array([5]))
+        assert store.stats.hbm_hits == 1
+
+    def test_latency_orders_by_tier(self, store):
+        _, cold = store.lookup(np.array([5]))       # DRAM
+        _, warm = store.lookup(np.array([5]))       # HBM
+        assert warm < cold
+
+    def test_promotion_respects_capacity(self, store):
+        for i in range(30):
+            store.lookup(np.array([i]))
+        assert store.hbm_rows == 10
+
+    def test_promotion_can_be_disabled(self, weight):
+        store = TieredEmbeddingStore(
+            weight,
+            TieredStoreConfig(hbm_capacity_rows=10, promote_on_access=False),
+        )
+        store.lookup(np.array([5]))
+        store.lookup(np.array([5]))
+        assert store.stats.hbm_hits == 0
+        assert store.stats.dram_hits == 2
+
+
+class TestPreload:
+    def test_preload_pins_hot_rows(self, store):
+        admitted = store.preload_hot(np.arange(5))
+        assert admitted == 5
+        store.lookup(np.array([0, 1]))
+        assert store.stats.hbm_hits == 2
+
+    def test_preload_stops_at_capacity(self, store):
+        assert store.preload_hot(np.arange(50)) == 10
+
+
+class TestRemoteTier:
+    def test_non_local_ids_fetch_remotely(self, weight):
+        calls = []
+
+        def remote(ids):
+            calls.append(ids)
+            return np.full((len(ids), 4), -1.0)
+
+        store = TieredEmbeddingStore(
+            weight,
+            local_ids=np.arange(50),
+            remote_fetch=remote,
+        )
+        rows, latency = store.lookup(np.array([10, 80]))
+        np.testing.assert_array_equal(rows[0], weight[10])
+        np.testing.assert_array_equal(rows[1], np.full(4, -1.0))
+        assert store.stats.remote_misses == 1
+        assert len(calls) == 1
+
+    def test_remote_latency_dominates(self, weight):
+        store = TieredEmbeddingStore(weight, local_ids=np.arange(50))
+        _, local_lat = store.lookup(np.array([1]))
+        _, remote_lat = store.lookup(np.array([99]))
+        assert remote_lat > 10 * local_lat
+
+
+class TestUpdates:
+    def test_apply_update_writes_through(self, store):
+        store.lookup(np.array([3]))  # promoted to HBM
+        store.apply_update(np.array([3]), np.zeros((1, 4)))
+        rows, _ = store.lookup(np.array([3]))
+        np.testing.assert_array_equal(rows[0], np.zeros(4))
+
+    def test_apply_update_skips_non_local(self, weight):
+        store = TieredEmbeddingStore(weight, local_ids=np.arange(10))
+        written = store.apply_update(
+            np.array([5, 50]), np.zeros((2, 4))
+        )
+        assert written == 1
+
+
+class TestStats:
+    def test_ratios(self):
+        s = TierStats(hbm_hits=6, dram_hits=3, remote_misses=1)
+        assert s.hbm_hit_ratio == pytest.approx(0.6)
+        assert s.local_hit_ratio == pytest.approx(0.9)
+
+    def test_empty_ratios(self):
+        s = TierStats()
+        assert s.hbm_hit_ratio == 0.0
+        assert s.local_hit_ratio == 0.0
+
+    def test_mean_latency_tracks_mix(self, store):
+        store.lookup(np.array([1]))   # DRAM
+        store.lookup(np.array([1]))   # HBM
+        mean = store.mean_lookup_latency_us()
+        cfg = store.config
+        assert mean == pytest.approx(
+            (cfg.dram_latency_us + cfg.hbm_latency_us) / 2
+        )
+
+    def test_hot_placement_lowers_mean_latency(self, weight):
+        """The hierarchy's purpose: hot-in-HBM placement wins."""
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 20, 500)  # hot set of 20 ids
+        preloaded = TieredEmbeddingStore(
+            weight, TieredStoreConfig(hbm_capacity_rows=20, promote_on_access=False)
+        )
+        preloaded.preload_hot(np.arange(20))
+        cold = TieredEmbeddingStore(
+            weight, TieredStoreConfig(hbm_capacity_rows=20, promote_on_access=False)
+        )
+        preloaded.lookup(ids)
+        cold.lookup(ids)
+        assert (
+            preloaded.mean_lookup_latency_us() < cold.mean_lookup_latency_us()
+        )

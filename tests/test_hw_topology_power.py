@@ -1,0 +1,103 @@
+"""Tests for CPU topology, power model, and diurnal load trace."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.power import CPUPowerModel, DiurnalLoadTrace
+from repro.hardware.topology import EPYC_9684X_DUAL, CCD, NodeTopology, Socket
+
+MB = 1024 ** 2
+
+
+class TestTopology:
+    def test_paper_node_shape(self):
+        topo = EPYC_9684X_DUAL
+        assert topo.num_ccds == 16           # 2 sockets x 8 CCDs
+        assert topo.ccds[0].l3_bytes == 96 * MB
+        assert topo.total_l3_bytes == 16 * 96 * MB
+        assert topo.num_gpus == 4
+
+    def test_ccd_lookup(self):
+        topo = EPYC_9684X_DUAL
+        assert topo.ccd(3).ccd_id == 3
+        with pytest.raises(KeyError):
+            topo.ccd(99)
+
+    def test_core_counts(self):
+        topo = EPYC_9684X_DUAL
+        assert topo.num_cores == 16 * 8
+        assert topo.sockets[0].num_cores == 64
+
+    def test_custom_topology(self):
+        ccds = tuple(CCD(ccd_id=i, socket_id=0) for i in range(4))
+        topo = NodeTopology(sockets=(Socket(0, ccds),))
+        assert topo.num_ccds == 4
+        assert topo.total_dram_bandwidth_gbps == pytest.approx(460.8)
+
+
+class TestPowerModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CPUPowerModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            CPUPowerModel(idle_w=500, peak_w=400)
+
+    def test_idle_and_peak(self):
+        m = CPUPowerModel(idle_w=100, peak_w=500)
+        assert m.power(0.0) == 100
+        assert m.power(1.0) == 500
+
+    def test_monotone(self):
+        m = CPUPowerModel()
+        powers = [m.power(u) for u in np.linspace(0, 1, 10)]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_sublinear_curve(self):
+        """Half the load costs more than half the dynamic power."""
+        m = CPUPowerModel(idle_w=0, peak_w=100, alpha=0.55)
+        assert m.power(0.5) > 50
+
+    def test_relative_increase_modest_for_trainer(self):
+        m = CPUPowerModel()
+        inc = m.relative_increase(base_util=0.13, extra_util=0.10)
+        assert 0.1 < inc < 0.35  # the paper's ~20% claim
+
+
+class TestDiurnalTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalLoadTrace(peak_utilization=0.0)
+
+    def test_peak_stays_under_limit(self):
+        t = DiurnalLoadTrace(peak_utilization=0.20, noise=0.0)
+        util = t.utilization_at(np.linspace(0, 24, 200))
+        assert util.max() <= 0.205
+        assert util.max() > 0.18  # reaches its peak
+
+    def test_trough_fraction(self):
+        t = DiurnalLoadTrace(peak_utilization=0.20, trough_fraction=0.4, noise=0.0)
+        util = t.utilization_at(np.linspace(0, 24, 200))
+        assert util.min() >= 0.4 * 0.20 * 0.9
+
+    def test_evening_peak_exceeds_morning(self):
+        t = DiurnalLoadTrace(noise=0.0)
+        assert t.utilization_at(20.5) > t.utilization_at(6.0)
+
+    def test_sample_day_length(self):
+        t = DiurnalLoadTrace()
+        samples = t.sample_day(interval_s=3600.0)
+        assert len(samples) == 24
+
+    def test_extra_utilization_shifts_curve(self):
+        t = DiurnalLoadTrace(noise=0.0, seed=1)
+        base = t.sample_day(interval_s=3600.0)
+        t2 = DiurnalLoadTrace(noise=0.0, seed=1)
+        extra = t2.sample_day(interval_s=3600.0, extra_utilization=0.1)
+        diffs = [
+            e.utilization - b.utilization for e, b in zip(extra, base)
+        ]
+        assert all(d == pytest.approx(0.1, abs=1e-9) for d in diffs)
+
+    def test_qps_shape_follows_utilization(self):
+        t = DiurnalLoadTrace(noise=0.0)
+        assert t.qps_at(20.5) > t.qps_at(4.0)

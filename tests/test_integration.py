@@ -1,0 +1,124 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.nodes import InferenceNode, TrainingCluster
+from repro.cluster.parameter_server import ParameterServer
+from repro.core.liveupdate import LiveUpdate, LiveUpdateConfig
+from repro.core.trainer import TrainerConfig
+from repro.data.synthetic import DriftingCTRStream, StreamConfig
+from repro.dlrm.metrics import auc_roc
+from repro.dlrm.model import DLRM, DLRMConfig
+from repro.dlrm.optim import RowwiseAdagrad
+from repro.experiments.accuracy import AccuracyConfig, run_strategy
+from repro.experiments.factories import delta_update, live_update, no_update
+
+TABLE_SIZES = (600, 400)
+
+
+def _world(seed=0):
+    model = DLRM(
+        DLRMConfig(
+            num_dense=4,
+            embedding_dim=16,
+            table_sizes=TABLE_SIZES,
+            bottom_mlp=(16,),
+            top_mlp=(32,),
+            seed=seed,
+        )
+    )
+    stream = DriftingCTRStream(
+        StreamConfig(table_sizes=TABLE_SIZES, num_dense=4, seed=seed + 1)
+    )
+    return model, stream
+
+
+class TestTrainServeLoop:
+    def test_model_learns_the_stream(self):
+        model, stream = _world()
+        opt = RowwiseAdagrad(lr=0.05)
+        for _ in range(150):
+            b = stream.next_batch(256, duration_s=1.0)
+            model.train_step(b.dense, b.sparse_ids, b.labels, opt)
+        ev = stream.eval_batch(4000)
+        auc = auc_roc(ev.labels, model.predict(ev.dense, ev.sparse_ids))
+        assert auc > 0.62
+
+    def test_staleness_decays_auc(self):
+        model, stream = _world()
+        opt = RowwiseAdagrad(lr=0.05)
+        for _ in range(150):
+            b = stream.next_batch(256, duration_s=1.0)
+            model.train_step(b.dense, b.sparse_ids, b.labels, opt)
+
+        def auc_now():
+            evs = [stream.eval_batch(4000) for _ in range(3)]
+            return np.mean(
+                [auc_roc(e.labels, model.predict(e.dense, e.sparse_ids)) for e in evs]
+            )
+
+        fresh = auc_now()
+        stream.advance(3600.0)
+        stale = auc_now()
+        assert stale < fresh - 0.02
+
+    def test_lora_recovers_staleness(self):
+        """The paper's core loop: freeze base, adapt with LoRA, win AUC."""
+        model, stream = _world()
+        opt = RowwiseAdagrad(lr=0.05)
+        for _ in range(150):
+            b = stream.next_batch(256, duration_s=1.0)
+            model.train_step(b.dense, b.sparse_ids, b.labels, opt)
+        stream.advance(1200.0)
+
+        server = ParameterServer(row_bytes=128)
+        node = InferenceNode(model.copy(), server)
+        lu = LiveUpdate(
+            node,
+            trainer_cluster=None,
+            trainer_config=TrainerConfig(
+                rank=8, lr=0.25, dynamic_rank=False, dynamic_prune=False
+            ),
+            config=LiveUpdateConfig(steps_per_slot=4),
+        )
+        for _ in range(30):
+            lu.on_serving_batch(stream.next_batch(256, local=True))
+            lu.on_slot(now=stream.now)
+            stream.advance(10.0)
+        evs = [stream.eval_batch(3000, local=True) for _ in range(3)]
+        base = np.mean(
+            [auc_roc(e.labels, node.predict(e)) for e in evs]
+        )
+        adapted = np.mean(
+            [auc_roc(e.labels, node.predict(e, overlay=lu.overlay())) for e in evs]
+        )
+        assert adapted > base + 0.005
+
+
+class TestHarnessOrdering:
+    """The Table III ordering must hold on a mid-sized run."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        cfg = AccuracyConfig(
+            table_sizes=(800, 600, 400),
+            horizon_s=1800.0,
+            update_interval_s=600.0,
+            pretrain_steps=200,
+        )
+        return {
+            "delta": run_strategy(cfg, delta_update),
+            "none": run_strategy(cfg, no_update),
+            "live": run_strategy(cfg, live_update(rank=8)),
+        }
+
+    def test_liveupdate_beats_delta(self, runs):
+        assert runs["live"].mean_auc > runs["delta"].mean_auc
+
+    def test_delta_beats_noupdate(self, runs):
+        assert runs["delta"].mean_auc > runs["none"].mean_auc
+
+    def test_liveupdate_zero_network(self, runs):
+        assert runs["live"].bytes_moved == 0.0
+        assert runs["delta"].bytes_moved > 0.0

@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lora import LoRAAdapter
+from repro.core.pruning import UsageTracker
+from repro.core.rank_adaptation import cumulative_variance, rank_for_variance
+from repro.core.sync import priority_merge
+from repro.dlrm.metrics import auc_roc
+from repro.dlrm.model import sigmoid
+from repro.hardware.cache import LRUCache
+from repro.cluster.timeline import simulate_periodic_updates
+
+
+# ------------------------------------------------------------------ metrics
+@given(
+    labels=st.lists(st.integers(0, 1), min_size=2, max_size=200),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_auc_bounded_and_complement_symmetric(labels, seed):
+    labels = np.array(labels, dtype=float)
+    scores = np.random.default_rng(seed).random(len(labels))
+    auc = auc_roc(labels, scores)
+    if np.isnan(auc):
+        assert labels.min() == labels.max()
+    else:
+        assert 0.0 <= auc <= 1.0
+        # reversing the ranking reflects the AUC around 0.5
+        assert abs(auc_roc(labels, -scores) - (1.0 - auc)) < 1e-9
+
+
+@given(st.lists(st.floats(-50, 50), min_size=1, max_size=50))
+def test_sigmoid_bounded_and_monotone(zs):
+    z = np.sort(np.array(zs))
+    s = sigmoid(z)
+    assert ((s >= 0) & (s <= 1)).all()
+    assert (np.diff(s) >= -1e-12).all()
+
+
+# -------------------------------------------------------------------- cache
+@given(
+    keys=st.lists(st.integers(0, 30), min_size=1, max_size=300),
+    capacity_entries=st.integers(1, 40),
+)
+def test_lru_cache_never_exceeds_capacity(keys, capacity_entries):
+    size = 8
+    cache = LRUCache(capacity_entries * size)
+    for k in keys:
+        cache.access(k, size)
+        assert cache.used_bytes <= cache.capacity_bytes
+        assert cache.num_entries * size == cache.used_bytes
+
+
+@given(keys=st.lists(st.integers(0, 10), min_size=1, max_size=100))
+def test_lru_cache_with_huge_capacity_misses_once_per_key(keys):
+    cache = LRUCache(10_000)
+    misses = sum(0 if cache.access(k, 1) else 1 for k in keys)
+    assert misses == len(set(keys))
+
+
+# --------------------------------------------------------------------- LoRA
+@given(
+    ids=st.lists(st.integers(0, 19), min_size=1, max_size=20, unique=True),
+    rank=st.integers(1, 8),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=30, deadline=None)
+def test_lora_grow_preserves_delta(ids, rank, seed):
+    dim = 8
+    rng = np.random.default_rng(seed)
+    adapter = LoRAAdapter(dim=dim, rank=rank, capacity=32, rng=rng)
+    arr = np.array(ids)
+    adapter.accumulate_grad(arr, rng.normal(size=(len(arr), dim)), lr=0.1)
+    before = adapter.delta_rows(arr)
+    adapter.resize_rank(min(rank + 3, dim))
+    np.testing.assert_allclose(adapter.delta_rows(arr), before, atol=1e-9)
+
+
+@given(
+    ids=st.lists(st.integers(0, 49), min_size=1, max_size=40),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=30, deadline=None)
+def test_lora_merge_equals_overlay(ids, seed):
+    """merge_into(base) must equal base + delta for every active id."""
+    dim = 6
+    rng = np.random.default_rng(seed)
+    adapter = LoRAAdapter(dim=dim, rank=3, capacity=64, rng=rng)
+    arr = np.unique(np.array(ids))
+    adapter.accumulate_grad(arr, rng.normal(size=(len(arr), dim)), lr=0.2)
+    base = rng.normal(size=(50, dim))
+    expected = base[arr] + adapter.delta_rows(arr)
+    weight = base.copy()
+    adapter.merge_into(weight)
+    np.testing.assert_allclose(weight[arr], expected, atol=1e-9)
+
+
+# ---------------------------------------------------------- rank adaptation
+@given(
+    n=st.integers(2, 40),
+    d=st.integers(2, 16),
+    seed=st.integers(0, 1000),
+    alpha=st.floats(0.1, 1.0, exclude_min=True),
+)
+@settings(max_examples=50, deadline=None)
+def test_rank_for_variance_within_bounds(n, d, seed, alpha):
+    m = np.random.default_rng(seed).normal(size=(n, d))
+    r = rank_for_variance(m, alpha)
+    assert 1 <= r <= min(n, d)
+    cum = cumulative_variance(m)
+    assert cum[r - 1] >= alpha - 1e-9
+    if r > 1:
+        assert cum[r - 2] < alpha
+
+
+# ------------------------------------------------------------------ pruning
+@given(
+    updates=st.lists(
+        st.lists(st.integers(0, 15), min_size=1, max_size=8),
+        min_size=1,
+        max_size=40,
+    ),
+    window=st.integers(1, 20),
+)
+@settings(max_examples=50, deadline=None)
+def test_usage_tracker_counts_match_window(updates, window):
+    tracker = UsageTracker(window_iters=window, tau_prune=1, c_min=1, c_max=100)
+    for ids in updates:
+        tracker.record_update(np.array(ids))
+    recent = updates[-window:]
+    for idx in range(16):
+        expected = sum(1 for ids in recent if idx in ids)
+        assert tracker.frequency(idx) == expected
+
+
+@given(
+    updates=st.lists(
+        st.lists(st.integers(0, 15), min_size=1, max_size=8),
+        min_size=1,
+        max_size=30,
+    ),
+    c_min=st.integers(1, 5),
+    c_max=st.integers(5, 30),
+)
+@settings(max_examples=50, deadline=None)
+def test_capacity_always_clamped(updates, c_min, c_max):
+    tracker = UsageTracker(10, tau_prune=1, c_min=c_min, c_max=max(c_min, c_max))
+    for ids in updates:
+        tracker.record_update(np.array(ids))
+    decision = tracker.decide()
+    assert c_min <= decision.new_capacity <= max(c_min, c_max)
+
+
+# ------------------------------------------------------------------- merge
+@given(
+    data=st.lists(
+        st.dictionaries(
+            st.integers(0, 10), st.floats(-10, 10), min_size=0, max_size=5
+        ),
+        min_size=0,
+        max_size=5,
+    )
+)
+def test_priority_merge_respects_max_rank(data):
+    per_rank = [
+        {k: np.array([v]) for k, v in d.items()} for d in data
+    ]
+    merged = priority_merge(per_rank)
+    for idx, value in merged.items():
+        owners = [r for r, d in enumerate(data) if idx in d]
+        assert value[0] == data[max(owners)][idx]
+    all_keys = set().union(*(d.keys() for d in data)) if data else set()
+    assert set(merged) == all_keys
+
+
+# ----------------------------------------------------------------- timeline
+@given(
+    interval=st.floats(30, 900),
+    duration=st.floats(0.1, 2000),
+)
+@settings(max_examples=50, deadline=None)
+def test_timeline_staleness_never_negative(interval, duration):
+    tl = simulate_periodic_updates(3600, interval, duration, kind="x")
+    for t in np.linspace(0, 3600, 37):
+        assert tl.staleness_at(float(t)) >= 0
+    # versions are non-decreasing in time
+    versions = [tl.version_at(float(t)) for t in np.linspace(0, 3600, 37)]
+    assert all(a <= b for a, b in zip(versions, versions[1:]))

@@ -1,0 +1,88 @@
+"""Additional property-based tests for the newer subsystems."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlrm.hashing import FeatureHasher, HashingConfig
+from repro.dlrm.multihot import MultiHotField
+from repro.hardware.tiered_store import TieredEmbeddingStore, TieredStoreConfig
+from repro.serving.router import ConsistentHashRouter
+from repro.experiments.update_cost import update_ratio
+
+
+@given(
+    raw=st.lists(st.integers(0, 2 ** 62), min_size=1, max_size=200),
+    slots=st.integers(1, 10_000),
+    seed=st.integers(0, 1000),
+)
+def test_hasher_total_and_deterministic(raw, slots, seed):
+    h = FeatureHasher(HashingConfig(num_slots=slots, seed=seed))
+    arr = np.array(raw)
+    a = h.hash_ints(arr)
+    b = h.hash_ints(arr)
+    np.testing.assert_array_equal(a, b)
+    assert a.min() >= 0 and a.max() < slots
+
+
+@given(
+    bags=st.lists(
+        st.lists(st.integers(0, 30), min_size=0, max_size=6),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_multihot_roundtrip_preserves_structure(bags):
+    f = MultiHotField.from_lists(bags)
+    assert f.batch_size == len(bags)
+    assert f.bag_sizes().tolist() == [len(b) for b in bags]
+    # flat ids reconstruct the original bags
+    rebuilt = [
+        f.ids[f.offsets[i] : f.offsets[i + 1]].tolist()
+        for i in range(f.batch_size)
+    ]
+    assert rebuilt == [list(b) for b in bags]
+
+
+@given(
+    keys=st.lists(st.integers(0, 1 << 31), min_size=1, max_size=300),
+    nodes=st.integers(1, 8),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=30, deadline=None)
+def test_router_total_and_sticky(keys, nodes, seed):
+    router = ConsistentHashRouter(list(range(nodes)), seed=seed)
+    arr = np.array(keys)
+    first = router.route(arr)
+    assert set(first.tolist()).issubset(set(range(nodes)))
+    second = router.route(arr)
+    np.testing.assert_array_equal(first, second)  # sticky without capacity
+
+
+@given(
+    ids=st.lists(st.integers(0, 99), min_size=1, max_size=300),
+    hbm=st.integers(1, 50),
+)
+@settings(max_examples=30, deadline=None)
+def test_tiered_store_conservation(ids, hbm):
+    weight = np.arange(100 * 2, dtype=float).reshape(100, 2)
+    store = TieredEmbeddingStore(
+        weight, TieredStoreConfig(hbm_capacity_rows=hbm)
+    )
+    arr = np.array(ids)
+    rows, latency = store.lookup(arr)
+    # every access is attributed to exactly one tier
+    assert store.stats.total == len(ids)
+    assert store.stats.remote_misses == 0  # fully local store
+    assert latency > 0
+    np.testing.assert_array_equal(rows, weight[arr])
+    assert store.hbm_rows <= hbm
+
+
+@given(
+    w1=st.floats(1.0, 7200.0),
+    w2=st.floats(1.0, 7200.0),
+)
+def test_update_ratio_monotone_bounded(w1, w2):
+    lo, hi = sorted((w1, w2))
+    assert 0.0 <= update_ratio(lo) <= update_ratio(hi) < 0.35

@@ -1,0 +1,120 @@
+"""Tests for the co-located node simulator and SLA monitor."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.numa import AdaptiveNumaPartitioner
+from repro.hardware.topology import EPYC_9684X_DUAL
+from repro.serving.engine import ColocatedNodeSimulator, NodeSimConfig
+from repro.serving.qos import SLAMonitor
+
+
+@pytest.fixture(scope="module")
+def small_sim():
+    """Down-scaled simulator so the full test file stays fast."""
+    return ColocatedNodeSimulator(
+        NodeSimConfig(
+            num_rows=20_000,
+            accesses_per_window=10_000,
+            training_ratio=8.0,
+            l3_bytes_per_ccd=int(0.025 * 1024 ** 2),
+            seed=0,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def ablation(small_sim):
+    return small_sim.ablation()
+
+
+class TestAblationShape:
+    """The Fig. 16 ordering must hold even at test scale."""
+
+    def test_naive_colocations_hurts_p99(self, ablation):
+        assert ablation["w/o Opt"].p99_ms > 1.5 * ablation["Only Infer"].p99_ms
+
+    def test_scheduling_restores_p99(self, ablation):
+        only = ablation["Only Infer"].p99_ms
+        sched = ablation["w/ Scheduling"].p99_ms
+        assert sched < 1.15 * only
+
+    def test_full_opt_at_least_as_good_as_scheduling(self, ablation):
+        assert (
+            ablation["w/ Reuse+Scheduling"].p99_ms
+            <= ablation["w/ Scheduling"].p99_ms * 1.05
+        )
+
+    def test_naive_collapses_inference_hit_ratio(self, ablation):
+        assert (
+            ablation["w/o Opt"].inference_hit_ratio
+            < ablation["Only Infer"].inference_hit_ratio
+        )
+
+    def test_scheduling_protects_inference_cache(self, ablation):
+        assert ablation[
+            "w/ Scheduling"
+        ].inference_hit_ratio == pytest.approx(
+            ablation["Only Infer"].inference_hit_ratio, abs=0.05
+        )
+
+    def test_reuse_absorbs_trainer_reads(self, ablation):
+        assert ablation["w/ Reuse+Scheduling"].reuse_ratio > 0.1
+        assert (
+            ablation["w/ Reuse+Scheduling"].training_hit_ratio
+            > ablation["w/ Scheduling"].training_hit_ratio
+        )
+
+    def test_inference_only_has_no_training(self, ablation):
+        assert ablation["Only Infer"].training_hit_ratio == 0.0
+        assert ablation["Only Infer"].reuse_ratio == 0.0
+
+
+class TestAdaptiveLoop:
+    def test_run_adaptive_produces_results(self, small_sim):
+        part = AdaptiveNumaPartitioner(
+            EPYC_9684X_DUAL,
+            min_inference_ccds=4,
+            max_training_ccds=4,
+            initial_training_ccds=2,
+        )
+        results = small_sim.run_adaptive(part, cycles=3)
+        assert len(results) == 3
+        assert len(part.history) == 3
+
+    def test_measure_p99_hook(self, small_sim):
+        p99 = small_sim.measure_p99_for_partition(10, 2)
+        assert p99 > 0
+
+
+class TestSLAMonitor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLAMonitor(p99_target_ms=0)
+
+    def test_windows_close_at_size(self):
+        mon = SLAMonitor(p99_target_ms=10, window_requests=100)
+        reports = mon.observe(np.full(250, 5.0))
+        assert len(reports) == 2
+        assert len(mon.reports) == 2
+        assert all(not r.violated for r in reports)
+
+    def test_violation_detection(self):
+        mon = SLAMonitor(p99_target_ms=10, window_requests=100)
+        reports = mon.observe(np.full(100, 50.0))
+        assert reports[0].violated
+        assert mon.violation_rate == 1.0
+
+    def test_percentile_ordering(self):
+        mon = SLAMonitor(window_requests=1000)
+        rng = np.random.default_rng(0)
+        (report,) = mon.observe(rng.exponential(5.0, 1000))
+        assert report.p50_ms < report.p95_ms < report.p99_ms
+
+    def test_current_p99_from_partial_window(self):
+        mon = SLAMonitor(window_requests=1000)
+        mon.observe(np.full(10, 7.0))
+        assert mon.current_p99() == pytest.approx(7.0)
+
+    def test_current_p99_empty_is_nan(self):
+        assert np.isnan(SLAMonitor().current_p99())

@@ -1,0 +1,75 @@
+"""Tests for the consistent-hash request router."""
+
+import numpy as np
+import pytest
+
+from repro.serving.router import ConsistentHashRouter
+
+
+@pytest.fixture
+def keys():
+    return np.random.default_rng(0).integers(0, 1 << 31, 5000)
+
+
+class TestRouting:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRouter([])
+        with pytest.raises(ValueError):
+            ConsistentHashRouter([1], virtual_nodes=0)
+
+    def test_routes_to_known_nodes(self, keys):
+        router = ConsistentHashRouter([0, 1, 2, 3])
+        nodes = router.route(keys[:100])
+        assert set(nodes.tolist()).issubset({0, 1, 2, 3})
+
+    def test_sticky_per_key(self):
+        router = ConsistentHashRouter([0, 1, 2])
+        a = router.route_one(12345)
+        b = router.route_one(12345)
+        assert a == b
+
+    def test_reasonable_balance(self, keys):
+        router = ConsistentHashRouter([0, 1, 2, 3], virtual_nodes=128)
+        assert router.imbalance(keys) < 1.6
+
+    def test_single_node_gets_everything(self, keys):
+        router = ConsistentHashRouter([7])
+        split = router.load_split(keys[:200])
+        assert split[7] == 1.0
+
+
+class TestBoundedLoad:
+    def test_spillover_on_saturation(self, keys):
+        router = ConsistentHashRouter([0, 1], capacity_qps=10)
+        router.route(keys[:100])
+        assert router.stats.spilled > 0
+        assert router.stats.spill_ratio > 0
+
+    def test_no_spill_without_capacity(self, keys):
+        router = ConsistentHashRouter([0, 1])
+        router.route(keys[:100])
+        assert router.stats.spilled == 0
+
+    def test_window_reset_clears_load(self, keys):
+        router = ConsistentHashRouter([0], capacity_qps=50)
+        router.route(keys[:50])
+        router.reset_window()
+        before = router.stats.spilled
+        router.route(keys[50:100])
+        # fresh window: the first 50 fit again without spilling beyond
+        assert router.stats.spilled == before
+
+
+class TestRemapStability:
+    def test_adding_node_remaps_small_fraction(self, keys):
+        before = ConsistentHashRouter([0, 1, 2, 3], virtual_nodes=128, seed=1)
+        after = ConsistentHashRouter([0, 1, 2, 3, 4], virtual_nodes=128, seed=1)
+        frac = before.remap_fraction(after, keys)
+        # ideal is 1/5; allow generous slack for a small ring
+        assert frac < 0.45
+
+    def test_same_layout_remaps_nothing(self, keys):
+        a = ConsistentHashRouter([0, 1, 2], seed=2)
+        b = ConsistentHashRouter([0, 1, 2], seed=2)
+        assert a.remap_fraction(b, keys[:500]) == 0.0
