@@ -1,9 +1,24 @@
 """LiveUpdate core: LoRA adapters, dynamic rank adaptation, usage-based
 pruning, the inference-side trainer, hot-index filtering, sparse
-data-parallel synchronization, and the tiered update strategy."""
+data-parallel synchronization, and the tiered update strategy.
+
+Kernel layer
+------------
+The id-granular hot paths (LoRA slot translation, hot-index membership,
+consistent-hash routing) are built on :mod:`repro.core.kernels`: a
+process-stable :func:`~repro.core.kernels.splitmix64` hash and the
+array-native :class:`~repro.core.kernels.IdSlotTable` id -> slot map.
+Every per-batch operation above them — ``delta_rows``, ``apply_to``,
+``accumulate_grad``, ``is_hot``, ``mark``, ``route`` — is expressed as
+gather/scatter + batched matmuls over whole arrays; per-id Python loops
+only survive on cold control paths (saturated bounded-load probes).
+``benchmarks/bench_hotpath_throughput.py`` tracks the resulting ids/sec
+against per-id reference implementations.
+"""
 
 from .drift import AdaptiveSyncPolicy, DriftMonitor, DriftSample
 from .hot_index import HotIndexFilter
+from .kernels import IdSlotTable, hash_combine, splitmix64
 from .liveupdate import LiveUpdate, LiveUpdateConfig
 from .lora import LoRAAdapter, LoRACollection
 from .pruning import PruneDecision, UsageTracker, dynamic_tau_from_counts
@@ -18,11 +33,16 @@ from .sync import (
     SparseLoRASynchronizer,
     SyncReport,
     average_merge,
+    average_merge_rows,
     priority_merge,
+    priority_merge_rows,
 )
 from .trainer import LoRATrainer, TrainerConfig, TrainerReport
 
 __all__ = [
+    "splitmix64",
+    "hash_combine",
+    "IdSlotTable",
     "LoRAAdapter",
     "LoRACollection",
     "cumulative_variance",
@@ -41,6 +61,8 @@ __all__ = [
     "SyncReport",
     "priority_merge",
     "average_merge",
+    "priority_merge_rows",
+    "average_merge_rows",
     "DriftMonitor",
     "DriftSample",
     "AdaptiveSyncPolicy",

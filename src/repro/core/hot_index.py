@@ -3,15 +3,112 @@
 On every serving request, LiveUpdate must decide per sparse id whether the
 LoRA adjustment applies: "hot" ids (recently updated by the online trainer)
 are served ``W_base[i] + A[i] B``; cold ids take the plain base-table path.
-The filter is a per-field set with optional time-based expiry so entries
-fade once the trainer stops touching them.
+The filter is a per-field membership table with optional time-based expiry
+so entries fade once the trainer stops touching them.
+
+Storage is array-native either way; the layout depends on whether the id
+universe is known:
+
+* *dense* (``num_rows`` given, the production serving configuration): one
+  ``float64`` last-mark timestamp per table row, so ``mark`` is a scatter
+  and ``is_hot`` is a gather + compare — O(batch) with no search;
+* *sparse* (unbounded ids): a sorted ``int64`` id array plus parallel
+  timestamps, with batched sorted-merge upserts and one
+  ``np.searchsorted`` per membership batch.
+
+Neither path runs a per-id Python loop on the serving path.  The dense
+layout costs 8 bytes per table row — small next to the embedding rows it
+annotates (a d=32 float64 row is 256 bytes).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .kernels import sorted_find
+
 __all__ = ["HotIndexFilter"]
+
+
+class _FieldTable:
+    """Sorted ids + last-mark timestamps for one sparse field."""
+
+    __slots__ = ("ids", "stamps")
+
+    def __init__(self) -> None:
+        self.ids = np.empty(0, dtype=np.int64)
+        self.stamps = np.empty(0, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    def upsert(self, ids: np.ndarray, stamp: float) -> None:
+        """Set the timestamp of every id in ``ids`` to ``stamp``."""
+        ids = np.unique(ids)
+        if ids.size == 0:
+            return
+        if self.ids.size == 0:
+            self.ids = ids.copy()
+            self.stamps = np.full(ids.size, stamp)
+            return
+        present, pos = sorted_find(self.ids, ids)
+        self.stamps[pos[present]] = stamp
+        fresh = ids[~present]
+        if fresh.size:
+            insert_at = np.searchsorted(self.ids, fresh)
+            self.ids = np.insert(self.ids, insert_at, fresh)
+            self.stamps = np.insert(self.stamps, insert_at, stamp)
+
+    def membership(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(found mask, timestamps)`` per query id (-inf where absent)."""
+        stamps = np.full(ids.shape, -np.inf)
+        found, pos = sorted_find(self.ids, ids)
+        stamps[found] = self.stamps[pos[found]]
+        return found, stamps
+
+    def drop_older_than(self, horizon: float) -> int:
+        keep = self.stamps >= horizon
+        dropped = int(keep.size - keep.sum())
+        if dropped:
+            self.ids = self.ids[keep]
+            self.stamps = self.stamps[keep]
+        return dropped
+
+    def clear(self) -> None:
+        self.ids = np.empty(0, dtype=np.int64)
+        self.stamps = np.empty(0, dtype=np.float64)
+
+
+class _DenseFieldTable:
+    """Timestamp per table row; for fields with a known id universe."""
+
+    __slots__ = ("stamps",)
+
+    def __init__(self, num_rows: int) -> None:
+        self.stamps = np.full(num_rows, -np.inf)
+
+    def __len__(self) -> int:
+        return int((self.stamps > -np.inf).sum())
+
+    def upsert(self, ids: np.ndarray, stamp: float) -> None:
+        ids = ids[(ids >= 0) & (ids < self.stamps.size)]
+        self.stamps[ids] = stamp
+
+    def membership(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        stamps = np.full(ids.shape, -np.inf)
+        valid = (ids >= 0) & (ids < self.stamps.size)
+        stamps[valid] = self.stamps[ids[valid]]
+        return stamps > -np.inf, stamps
+
+    def drop_older_than(self, horizon: float) -> int:
+        stale = (self.stamps > -np.inf) & (self.stamps < horizon)
+        dropped = int(stale.sum())
+        if dropped:
+            self.stamps[stale] = -np.inf
+        return dropped
+
+    def clear(self) -> None:
+        self.stamps[:] = -np.inf
 
 
 class HotIndexFilter:
@@ -22,26 +119,41 @@ class HotIndexFilter:
         expiry_s: optional age limit; entries older than this (relative to
             the most recent :meth:`mark` time) stop matching.  ``None``
             disables expiry (entries persist until :meth:`clear`).
+        num_rows: optional id-universe size per field (or one size for
+            all).  When given, that field uses the dense O(1)-per-id
+            layout; ids outside ``[0, num_rows)`` are treated as cold.
     """
 
-    def __init__(self, num_fields: int, expiry_s: float | None = None) -> None:
+    def __init__(
+        self,
+        num_fields: int,
+        expiry_s: float | None = None,
+        num_rows: int | list[int] | None = None,
+    ) -> None:
         if num_fields <= 0:
             raise ValueError("need at least one field")
         if expiry_s is not None and expiry_s <= 0:
             raise ValueError("expiry must be positive when set")
         self.num_fields = num_fields
         self.expiry_s = expiry_s
-        self._marked: list[dict[int, float]] = [{} for _ in range(num_fields)]
+        if num_rows is None:
+            sizes: list[int | None] = [None] * num_fields
+        elif isinstance(num_rows, int):
+            sizes = [num_rows] * num_fields
+        else:
+            if len(num_rows) != num_fields:
+                raise ValueError("num_rows must align with num_fields")
+            sizes = list(num_rows)
+        self._marked: list[_FieldTable | _DenseFieldTable] = [
+            _FieldTable() if n is None else _DenseFieldTable(n) for n in sizes
+        ]
         self._now = 0.0
 
     def mark(self, field: int, ids: np.ndarray, now: float | None = None) -> None:
         """Record ids as hot at time ``now`` (trainer update callback)."""
         if now is not None:
             self._now = max(self._now, now)
-        stamp = self._now
-        table = self._marked[field]
-        for i in np.asarray(ids, dtype=np.int64):
-            table[int(i)] = stamp
+        self._marked[field].upsert(np.asarray(ids, dtype=np.int64), self._now)
 
     def advance(self, now: float) -> None:
         """Move the filter's clock forward (expiry reference)."""
@@ -49,14 +161,11 @@ class HotIndexFilter:
 
     def is_hot(self, field: int, ids: np.ndarray) -> np.ndarray:
         """Boolean mask: which of ``ids`` are currently hot."""
-        table = self._marked[field]
         ids = np.asarray(ids, dtype=np.int64)
+        found, stamps = self._marked[field].membership(ids)
         if self.expiry_s is None:
-            return np.array([int(i) in table for i in ids], dtype=bool)
-        horizon = self._now - self.expiry_s
-        return np.array(
-            [table.get(int(i), -np.inf) >= horizon for i in ids], dtype=bool
-        )
+            return found
+        return stamps >= self._now - self.expiry_s
 
     def __call__(self, field: int, ids: np.ndarray) -> np.ndarray:
         """Alias so the filter plugs into :meth:`LoRACollection.overlay`."""
@@ -67,21 +176,14 @@ class HotIndexFilter:
         table = self._marked[field]
         if self.expiry_s is None:
             return len(table)
-        horizon = self._now - self.expiry_s
-        return sum(1 for ts in table.values() if ts >= horizon)
+        return int((table.stamps >= self._now - self.expiry_s).sum())
 
     def sweep(self) -> int:
         """Physically remove expired entries; returns how many were dropped."""
         if self.expiry_s is None:
             return 0
         horizon = self._now - self.expiry_s
-        dropped = 0
-        for table in self._marked:
-            stale = [i for i, ts in table.items() if ts < horizon]
-            for i in stale:
-                del table[i]
-            dropped += len(stale)
-        return dropped
+        return sum(table.drop_older_than(horizon) for table in self._marked)
 
     def clear(self, field: int | None = None) -> None:
         if field is None:

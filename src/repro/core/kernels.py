@@ -1,0 +1,242 @@
+"""Vectorized hot-path kernels shared across the serving/training stack.
+
+LiveUpdate's steady-state work is dominated by three id-granular
+operations: mapping sparse ids to LoRA slots (every adapted lookup and
+every gradient step), hot-index membership checks (every served batch),
+and fleet routing (every request).  Expressed per id in Python these cap
+throughput at a few hundred thousand ids/sec; expressed as whole-array
+kernels they run at memory bandwidth.  This module holds the two
+primitives everything else builds on:
+
+* :func:`splitmix64` — a process-stable avalanche hash (the builtin
+  ``hash()`` is salted per process via ``PYTHONHASHSEED`` and must never
+  decide ring placement or slot assignment);
+* :class:`IdSlotTable` — an array-native id -> slot map (sorted key
+  array + ``np.searchsorted``) with batch lookup/insert/remove, the
+  replacement for the former dict-based ``_SlotMap``.
+
+Both are deliberately dependency-free (NumPy only) so every layer —
+``core``, ``serving``, ``dlrm`` — can import them without cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["splitmix64", "hash_combine", "sorted_find", "IdSlotTable"]
+
+# Multiplicative avalanche constants (splitmix64 finaliser).
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def splitmix64(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorised splitmix64 over integer arrays; returns ``uint64``.
+
+    Deterministic across processes, platforms and ``PYTHONHASHSEED`` —
+    the property the consistent-hash ring and feature hashing rely on.
+    """
+    values = np.asarray(values)
+    offset = (seed * _GOLDEN + 1) % (1 << 64)
+    with np.errstate(over="ignore"):
+        x = values.astype(np.uint64) + np.uint64(offset)
+        x ^= x >> np.uint64(30)
+        x *= _MIX1
+        x ^= x >> np.uint64(27)
+        x *= _MIX2
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def hash_combine(a: np.ndarray, b: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Stable hash of an ``(a, b)`` pair of integer arrays (broadcastable)."""
+    with np.errstate(over="ignore"):
+        mixed = splitmix64(a, seed) ^ (
+            np.asarray(b).astype(np.uint64) * np.uint64(_GOLDEN)
+        )
+    return splitmix64(mixed, seed + 1)
+
+
+def sorted_find(keys: np.ndarray, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Batch membership in a sorted key array.
+
+    Returns ``(found, pos)`` where ``found[j]`` says whether
+    ``queries[j]`` is in ``keys`` and ``pos[j]`` is its index there
+    (0 — an arbitrary safe index — where not found).
+    """
+    if keys.size == 0 or queries.size == 0:
+        return (
+            np.zeros(queries.shape, dtype=bool),
+            np.zeros(queries.shape, dtype=np.int64),
+        )
+    pos = np.searchsorted(keys, queries)
+    in_range = pos < keys.size
+    pos_c = np.where(in_range, pos, 0)
+    found = in_range & (keys[pos_c] == queries)
+    return found, pos_c
+
+
+class IdSlotTable:
+    """Array-native id -> slot map with a bounded slot budget.
+
+    Keys are kept in one sorted ``int64`` array with a parallel slot
+    array, so membership and translation are a single
+    ``np.searchsorted`` per batch.  When the id universe is known
+    (``universe`` given — embedding tables have a fixed row count), a
+    flat direct-address array shadows the sorted pair and translation
+    becomes a single gather with no search at all; ids outside
+    ``[0, universe)`` simply miss.  Free slots live in a LIFO stack that
+    reproduces the allocation order of the former dict/free-list
+    implementation: a fresh table hands out slots ``0, 1, 2, ...`` and
+    released slots are reused most-recently-freed first.
+    """
+
+    def __init__(self, capacity: int, universe: int | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if universe is not None and universe <= 0:
+            raise ValueError("universe must be positive when set")
+        self.capacity = capacity
+        self.universe = universe
+        self._keys = np.empty(0, dtype=np.int64)
+        self._vals = np.empty(0, dtype=np.int64)
+        self._dense = (
+            None if universe is None else np.full(universe, -1, dtype=np.int64)
+        )
+        self._free = np.arange(capacity - 1, -1, -1, dtype=np.int64)
+        self._n_free = capacity
+
+    # ----------------------------------------------------------------- state
+    @property
+    def size(self) -> int:
+        return int(self._keys.size)
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Active ids, ascending."""
+        return self._keys.copy()
+
+    @property
+    def slots(self) -> np.ndarray:
+        """Slot per active id, aligned with :attr:`keys`."""
+        return self._vals.copy()
+
+    def clear(self) -> None:
+        if self._dense is not None:
+            self._dense[self._keys] = -1  # O(active), not O(universe)
+        self._keys = np.empty(0, dtype=np.int64)
+        self._vals = np.empty(0, dtype=np.int64)
+        self._free = np.arange(self.capacity - 1, -1, -1, dtype=np.int64)
+        self._n_free = self.capacity
+
+    def rebuild_sorted(self, keys: np.ndarray, capacity: int) -> None:
+        """Repack in place: ``keys`` (sorted, unique) take slots ``0..n-1``.
+
+        Reuses the dense lane instead of reallocating a universe-sized
+        array on every capacity resize.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        n = keys.size
+        if n > capacity:
+            raise ValueError("more keys than capacity")
+        if self._dense is not None:
+            self._dense[self._keys] = -1
+        self.capacity = capacity
+        self._keys = keys.copy()
+        self._vals = np.arange(n, dtype=np.int64)
+        if self._dense is not None:
+            self._dense[self._keys] = self._vals
+        self._free = np.empty(capacity, dtype=np.int64)
+        self._free[: capacity - n] = np.arange(capacity - 1, n - 1, -1)
+        self._n_free = capacity - n
+
+    @classmethod
+    def from_sorted_keys(
+        cls, keys: np.ndarray, capacity: int, universe: int | None = None
+    ) -> "IdSlotTable":
+        """Table where ``keys`` (sorted, unique) occupy slots ``0..n-1``."""
+        table = cls(capacity, universe=universe)
+        table.rebuild_sorted(keys, capacity)
+        return table
+
+    # ----------------------------------------------------------- free stack
+    def _pop(self, k: int) -> np.ndarray:
+        out = self._free[self._n_free - k : self._n_free][::-1].copy()
+        self._n_free -= k
+        return out
+
+    def _push(self, slots: np.ndarray) -> None:
+        k = slots.size
+        self._free[self._n_free : self._n_free + k] = slots
+        self._n_free += k
+
+    # --------------------------------------------------------------- lookup
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Slot per id; ``-1`` where the id is not in the table."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if self._dense is not None:
+            out = np.full(ids.shape, -1, dtype=np.int64)
+            valid = (ids >= 0) & (ids < self._dense.size)
+            out[valid] = self._dense[ids[valid]]
+            return out
+        out = np.full(ids.shape, -1, dtype=np.int64)
+        found, pos = sorted_find(self._keys, ids)
+        out[found] = self._vals[pos[found]]
+        return out
+
+    def get(self, idx: int) -> int | None:
+        """Scalar lookup (compat shim for slow paths and tests)."""
+        slot = int(self.lookup(np.array([idx]))[0])
+        return None if slot < 0 else slot
+
+    # --------------------------------------------------------------- update
+    def insert(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch activate: give every id a slot, first come first served.
+
+        Returns ``(slots, new_slots)`` where ``slots`` aligns with
+        ``ids`` (``-1`` when the table ran out of capacity) and
+        ``new_slots`` lists the slots granted to previously-absent ids
+        (callers typically need to zero the backing rows).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        slots = self.lookup(ids)
+        missing = slots < 0
+        if self._dense is not None:
+            # Out-of-universe ids can never be granted a slot.
+            missing &= (ids >= 0) & (ids < self._dense.size)
+        if not missing.any():
+            return slots, np.empty(0, dtype=np.int64)
+        new_ids, first_pos = np.unique(ids[missing], return_index=True)
+        order = np.argsort(first_pos, kind="stable")  # first-occurrence order
+        granted = new_ids[order][: self._n_free]
+        if granted.size == 0:
+            return slots, np.empty(0, dtype=np.int64)
+        new_slots = self._pop(granted.size)
+        merged_keys = np.concatenate([self._keys, granted])
+        merged_vals = np.concatenate([self._vals, new_slots])
+        srt = np.argsort(merged_keys, kind="stable")
+        self._keys = merged_keys[srt]
+        self._vals = merged_vals[srt]
+        if self._dense is not None:
+            self._dense[granted] = new_slots
+        return self.lookup(ids), new_slots
+
+    def remove(self, ids: np.ndarray) -> np.ndarray:
+        """Batch deactivate; returns the slots that were released."""
+        ids = np.unique(np.asarray(ids, dtype=np.int64))
+        if ids.size == 0 or self._keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        found, pos = sorted_find(self._keys, ids)
+        hit = pos[found]
+        if hit.size == 0:
+            return np.empty(0, dtype=np.int64)
+        released = self._vals[hit].copy()
+        if self._dense is not None:
+            self._dense[self._keys[hit]] = -1
+        keep = np.ones(self._keys.size, dtype=bool)
+        keep[hit] = False
+        self._keys = self._keys[keep]
+        self._vals = self._vals[keep]
+        self._push(released)
+        return released

@@ -7,6 +7,11 @@ vocabulary row: an :class:`LoRAAdapter` owns a compact slot array of
 ``capacity`` rows plus an id -> slot map, so only active ids (survivors of
 usage-based pruning) consume memory.
 
+The id -> slot map is an :class:`~repro.core.kernels.IdSlotTable`, so every
+algebra entry point (:meth:`~LoRAAdapter.delta_rows`,
+:meth:`~LoRAAdapter.apply_to`, :meth:`~LoRAAdapter.accumulate_grad`) is one
+batched translate + gather/scatter + matmul with no per-id Python loop.
+
 Rank can be resized at runtime (dynamic rank adaptation, Section IV-C):
 growth zero-pads the new directions; shrink projects ``A B`` onto its top-k
 SVD subspace so the represented update is preserved as well as a rank-k
@@ -15,23 +20,11 @@ object can (Eckart-Young optimality).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from .kernels import IdSlotTable
+
 __all__ = ["LoRAAdapter", "LoRACollection"]
-
-
-@dataclass
-class _SlotMap:
-    """Bidirectional id <-> slot bookkeeping."""
-
-    id_to_slot: dict[int, int]
-    free_slots: list[int]
-
-    @classmethod
-    def empty(cls, capacity: int) -> "_SlotMap":
-        return cls(id_to_slot={}, free_slots=list(range(capacity - 1, -1, -1)))
 
 
 class LoRAAdapter:
@@ -43,6 +36,11 @@ class LoRAAdapter:
         capacity: number of ``A`` rows allocated (active-id budget).
         rng: initialiser for ``B`` (``A`` rows start at zero so the adapter
             is an exact no-op until trained, as in standard LoRA).
+        universe: optional id-universe size (the base table's row count).
+            When given, id -> slot translation uses the flat
+            direct-address lane of :class:`IdSlotTable` — one gather, no
+            search — and ids outside ``[0, universe)`` are never
+            activated.
     """
 
     def __init__(
@@ -51,6 +49,7 @@ class LoRAAdapter:
         rank: int,
         capacity: int,
         rng: np.random.Generator | None = None,
+        universe: int | None = None,
     ) -> None:
         if dim <= 0 or rank <= 0 or capacity <= 0:
             raise ValueError("dim, rank and capacity must be positive")
@@ -60,65 +59,83 @@ class LoRAAdapter:
         self.dim = dim
         self.rank = rank
         self.capacity = capacity
+        self.universe = universe
         self.a = np.zeros((capacity, rank))
         self.b = rng.normal(0.0, 1.0 / np.sqrt(rank), size=(rank, dim))
-        self._slots = _SlotMap.empty(capacity)
+        self._slots = IdSlotTable(capacity, universe=universe)
         self.evictions = 0
 
     # ------------------------------------------------------------------ state
     @property
     def num_active(self) -> int:
-        return len(self._slots.id_to_slot)
+        return self._slots.size
 
     @property
     def active_ids(self) -> np.ndarray:
-        return np.fromiter(
-            self._slots.id_to_slot.keys(), dtype=np.int64, count=self.num_active
-        )
+        """Active ids in ascending order."""
+        return self._slots.keys
+
+    @property
+    def active_slots(self) -> np.ndarray:
+        """Slots of the active ids, aligned with :attr:`active_ids`."""
+        return self._slots.slots
 
     @property
     def nbytes(self) -> int:
         return int(self.a.nbytes + self.b.nbytes)
 
     def is_active(self, idx: int) -> bool:
-        return int(idx) in self._slots.id_to_slot
+        return self._slots.get(int(idx)) is not None
 
     def slot_of(self, idx: int) -> int | None:
-        return self._slots.id_to_slot.get(int(idx))
+        return self._slots.get(int(idx))
+
+    def slots_of(self, ids: np.ndarray) -> np.ndarray:
+        """Batch id -> slot translation; ``-1`` for inactive ids."""
+        return self._slots.lookup(ids)
 
     # ------------------------------------------------------------ activation
     def activate(self, idx: int) -> int | None:
         """Ensure ``idx`` has a slot; returns the slot or None if full."""
-        idx = int(idx)
-        slot = self._slots.id_to_slot.get(idx)
-        if slot is not None:
-            return slot
-        if not self._slots.free_slots:
-            return None
-        slot = self._slots.free_slots.pop()
-        self._slots.id_to_slot[idx] = slot
-        self.a[slot] = 0.0
-        return slot
+        slots = self.activate_batch(np.array([int(idx)], dtype=np.int64))
+        return None if slots[0] < 0 else int(slots[0])
+
+    def activate_batch(self, ids: np.ndarray) -> np.ndarray:
+        """Give every id a slot (first come first served); ``-1`` if full.
+
+        Newly granted slots have their ``A`` rows zeroed so activation
+        alone never changes the represented update.
+        """
+        slots, new_slots = self._slots.insert(ids)
+        if new_slots.size:
+            self.a[new_slots] = 0.0
+        return slots
 
     def deactivate(self, idx: int) -> bool:
         """Release ``idx``'s slot (pruning); returns True if it was active."""
-        slot = self._slots.id_to_slot.pop(int(idx), None)
-        if slot is None:
-            return False
-        self.a[slot] = 0.0
-        self._slots.free_slots.append(slot)
-        self.evictions += 1
-        return True
+        return self.deactivate_batch(np.array([int(idx)], dtype=np.int64)) == 1
+
+    def deactivate_batch(self, ids: np.ndarray) -> int:
+        """Release the slots of every active id in ``ids``; returns count."""
+        released = self._slots.remove(ids)
+        if released.size:
+            self.a[released] = 0.0
+            self.evictions += released.size
+        return int(released.size)
 
     # --------------------------------------------------------------- algebra
     def delta_rows(self, ids: np.ndarray) -> np.ndarray:
         """``Delta W`` rows for ``ids``; inactive ids contribute zeros."""
         ids = np.asarray(ids, dtype=np.int64)
+        slots = self._slots.lookup(ids)
+        hit = slots >= 0
+        if hit.all():
+            # Common serving case (the overlay only sends hot ids): one
+            # gather + matmul, no zero-fill/scatter pass.
+            return self.a[slots] @ self.b
         out = np.zeros((ids.shape[0], self.dim))
-        for j, i in enumerate(ids):
-            slot = self._slots.id_to_slot.get(int(i))
-            if slot is not None:
-                out[j] = self.a[slot] @ self.b
+        if hit.any():
+            out[hit] = self.a[slots[hit]] @ self.b
         return out
 
     def apply_to(self, ids: np.ndarray, base_rows: np.ndarray) -> np.ndarray:
@@ -134,21 +151,69 @@ class LoRAAdapter:
         is the gradient of the (adapted) embedding row.  Ids without a free
         slot are skipped (they keep flowing through the base table only).
 
+        The batch is processed as whole-array matmuls.  ``B`` is read-only
+        within a step, so rows with distinct ids commute; repeated ids are
+        handled in occurrence order (round ``r`` applies every id's
+        ``r``-th gradient row) to preserve the sequential SGD semantics.
+
         Returns the number of ids actually updated.
         """
         ids = np.asarray(ids, dtype=np.int64)
         grad_rows = np.asarray(grad_rows, dtype=np.float64)
+        slots = self.activate_batch(ids)
+        valid = slots >= 0
+        updated = int(valid.sum())
+        if not updated:
+            return 0
+        v_slots = slots[valid]
+        grads = grad_rows[valid]
+        occurrence = self._occurrence_index(v_slots)
         grad_b = np.zeros_like(self.b)
-        updated = 0
-        for i, g in zip(ids, grad_rows):
-            slot = self.activate(int(i))
-            if slot is None:
-                continue
-            grad_b += np.outer(self.a[slot], g)
-            self.a[slot] -= lr * (self.b @ g)
-            updated += 1
+        for r in range(int(occurrence.max()) + 1):
+            sel = occurrence == r
+            s = v_slots[sel]
+            g = grads[sel]
+            grad_b += self.a[s].T @ g
+            self.a[s] -= lr * (g @ self.b.T)
         self.b -= lr * grad_b
         return updated
+
+    @staticmethod
+    def _occurrence_index(slots: np.ndarray) -> np.ndarray:
+        """Per-row count of earlier rows with the same slot (0 for first)."""
+        order = np.argsort(slots, kind="stable")
+        sorted_slots = slots[order]
+        _, counts = np.unique(sorted_slots, return_counts=True)
+        group_start = np.repeat(np.cumsum(counts) - counts, counts)
+        occ = np.empty(slots.size, dtype=np.int64)
+        occ[order] = np.arange(slots.size) - group_start
+        return occ
+
+    def scatter_rows(self, ids: np.ndarray, rows: np.ndarray) -> int:
+        """Overwrite the ``A`` rows of ``ids`` (activating as needed).
+
+        Ids that cannot get a slot are skipped; ``rows`` wider/narrower
+        than the current rank are truncated / zero-padded.  Returns the
+        number of rows written (the synchronizer's apply primitive).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.float64)
+        slots = self.activate_batch(ids)
+        hit = slots >= 0
+        if not hit.any():
+            return 0
+        width = min(rows.shape[1], self.rank)
+        payload = np.zeros((int(hit.sum()), self.rank))
+        payload[:, :width] = rows[hit][:, :width]
+        self.a[slots[hit]] = payload
+        return int(hit.sum())
+
+    def gather_rows(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(present_ids, A rows)`` for the subset of ``ids`` that is active."""
+        ids = np.asarray(ids, dtype=np.int64)
+        slots = self._slots.lookup(ids)
+        hit = slots >= 0
+        return ids[hit], self.a[slots[hit]].copy()
 
     # ----------------------------------------------------------- reshaping
     def resize_rank(self, new_rank: int) -> None:
@@ -171,8 +236,8 @@ class LoRAAdapter:
             # factors: leaving it all in A (a = u*s, b = vt) preserves the
             # product but unbalances subsequent gradient dynamics, which
             # measurably degrades further online training.
-            active = sorted(self._slots.id_to_slot.values())
-            if active:
+            active = np.sort(self._slots.slots)
+            if active.size:
                 delta = self.a[active] @ self.b
                 u, s, vt = np.linalg.svd(delta, full_matrices=False)
                 k = new_rank
@@ -201,45 +266,45 @@ class LoRAAdapter:
         """Grow/shrink the slot budget (Eq. 4's table-length control).
 
         Shrinking evicts the surplus ids with the *smallest* adapter norms
-        (they carry the least update information).
+        (they carry the least update information; ties break toward lower
+        ids).
         """
         if new_capacity == self.capacity:
             return
         if new_capacity <= 0:
             raise ValueError("capacity must be positive")
         if new_capacity < self.num_active:
-            norms = {
-                i: float(np.linalg.norm(self.a[s]))
-                for i, s in self._slots.id_to_slot.items()
-            }
+            ids = self._slots.keys
+            norms = np.linalg.norm(self.a[self._slots.slots], axis=1)
             surplus = self.num_active - new_capacity
-            for i in sorted(norms, key=norms.get)[:surplus]:
-                self.deactivate(i)
+            evict = ids[np.argsort(norms, kind="stable")[:surplus]]
+            self.deactivate_batch(evict)
+        # Repack survivors densely: ascending ids take slots 0..n-1.
+        keys = self._slots.keys
+        old_slots = self._slots.slots
         new_a = np.zeros((new_capacity, self.rank))
-        new_map = _SlotMap.empty(new_capacity)
-        for idx, old_slot in sorted(self._slots.id_to_slot.items()):
-            new_slot = new_map.free_slots.pop()
-            new_map.id_to_slot[idx] = new_slot
-            new_a[new_slot] = self.a[old_slot]
+        new_a[: keys.size] = self.a[old_slots]
         self.a = new_a
-        self._slots = new_map
+        self._slots.rebuild_sorted(keys, new_capacity)
         self.capacity = new_capacity
 
     def reset(self) -> None:
         """Zero the adapter (after merging into base / full re-anchor)."""
         self.a[...] = 0.0
-        self._slots = _SlotMap.empty(self.capacity)
+        self._slots.clear()
 
     def merge_into(self, weight: np.ndarray) -> int:
         """Fold ``A B`` into a base weight matrix in place; then reset.
 
         Returns the number of rows merged.
         """
-        merged = 0
-        for idx, slot in self._slots.id_to_slot.items():
-            if 0 <= idx < weight.shape[0]:
-                weight[idx] += self.a[slot] @ self.b
-                merged += 1
+        keys = self._slots.keys
+        slots = self._slots.slots
+        in_range = (keys >= 0) & (keys < weight.shape[0])
+        if in_range.any():
+            # Active ids are unique, so plain fancy-index += is safe.
+            weight[keys[in_range]] += self.a[slots[in_range]] @ self.b
+        merged = int(in_range.sum())
         self.reset()
         return merged
 
@@ -253,13 +318,22 @@ class LoRACollection:
         rank: int,
         capacities: list[int],
         seed: int = 0,
+        universes: list[int] | None = None,
     ) -> None:
         if len(dims) != len(capacities):
             raise ValueError("dims and capacities must align")
+        if universes is not None and len(universes) != len(dims):
+            raise ValueError("universes must align with dims")
         rng = np.random.default_rng(seed)
         self.adapters = [
-            LoRAAdapter(dim, rank, cap, rng=rng)
-            for dim, cap in zip(dims, capacities)
+            LoRAAdapter(
+                dim,
+                rank,
+                cap,
+                rng=rng,
+                universe=None if universes is None else universes[f],
+            )
+            for f, (dim, cap) in enumerate(zip(dims, capacities))
         ]
 
     def __len__(self) -> int:
@@ -295,6 +369,8 @@ class LoRACollection:
             mask = hot_filter(field, ids)
             if not mask.any():
                 return base_rows
+            if mask.all():
+                return adapter.apply_to(ids, base_rows)
             out = np.array(base_rows, dtype=np.float64, copy=True)
             hot_ids = np.asarray(ids)[mask]
             out[mask] = adapter.apply_to(hot_ids, out[mask])

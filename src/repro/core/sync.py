@@ -7,6 +7,13 @@ conflicts with the deterministic rank-priority rule (highest rank id wins),
 and broadcast the merged adapter state.  Between syncs replicas diverge —
 that is the eventual-consistency trade-off Fig. 9 quantifies.
 
+Supports are accumulated as per-step id arrays and consolidated with one
+``np.unique`` at sync time; the gather / merge / apply pipeline runs on
+whole (ids, rows) arrays via :meth:`LoRAAdapter.gather_rows` and
+:meth:`LoRAAdapter.scatter_rows` — no per-support-id Python loop.  The
+dict-based :func:`priority_merge` / :func:`average_merge` remain as the
+reference (and public) formulation of the merge rule.
+
 Communication cost is modelled with the tree-AllGather collective from
 :mod:`repro.cluster.collectives`, which is what gives Fig. 19 its O(log N)
 scaling.
@@ -14,7 +21,7 @@ scaling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,6 +33,8 @@ __all__ = [
     "SyncReport",
     "priority_merge",
     "average_merge",
+    "priority_merge_rows",
+    "average_merge_rows",
     "SparseLoRASynchronizer",
 ]
 
@@ -83,6 +92,50 @@ def average_merge(
     return {idx: sums[idx] / counts[idx] for idx in sums}
 
 
+def priority_merge_rows(
+    per_rank: list[tuple[np.ndarray, np.ndarray]], width: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array form of :func:`priority_merge`.
+
+    Args:
+        per_rank: ``(ids, rows)`` per rank in ascending rank order; all
+            ``rows`` must already share ``width`` columns.
+        width: row width (needed to shape the empty result).
+
+    Returns:
+        ``(merged_ids, merged_rows)`` with ids sorted ascending and each
+        id's row taken from the highest rank that modified it.
+    """
+    if not per_rank or all(ids.size == 0 for ids, _ in per_rank):
+        return np.empty(0, dtype=np.int64), np.empty((0, width))
+    ids = np.concatenate([p[0] for p in per_rank])
+    rows = np.concatenate([p[1] for p in per_rank], axis=0)
+    ranks = np.concatenate(
+        [np.full(p[0].size, r, dtype=np.int64) for r, p in enumerate(per_rank)]
+    )
+    order = np.lexsort((ranks, ids))
+    sorted_ids = ids[order]
+    # last entry of each id group = highest rank (ids unique within a rank)
+    winner = np.r_[sorted_ids[1:] != sorted_ids[:-1], True]
+    return sorted_ids[winner], rows[order][winner]
+
+
+def average_merge_rows(
+    per_rank: list[tuple[np.ndarray, np.ndarray]], width: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array form of :func:`average_merge` over width-aligned rows."""
+    if not per_rank or all(ids.size == 0 for ids, _ in per_rank):
+        return np.empty(0, dtype=np.int64), np.empty((0, width))
+    ids = np.concatenate([p[0] for p in per_rank])
+    rows = np.concatenate([p[1] for p in per_rank], axis=0)
+    merged_ids, inverse, counts = np.unique(
+        ids, return_inverse=True, return_counts=True
+    )
+    sums = np.zeros((merged_ids.size, width))
+    np.add.at(sums, inverse, rows)
+    return merged_ids, sums / counts[:, None]
+
+
 class SparseLoRASynchronizer:
     """Coordinates LoRA replicas across inference nodes.
 
@@ -111,9 +164,10 @@ class SparseLoRASynchronizer:
         self.sync_interval = sync_interval
         self.cost = CollectiveCostModel(link)
         self.num_fields = len(trainers[0].lora)
-        # S_r per field: indices modified since the last sync.
-        self._supports: list[list[set[int]]] = [
-            [set() for _ in range(self.num_fields)] for _ in trainers
+        # S_r per field: id-array chunks modified since the last sync,
+        # consolidated with one np.unique at sync time.
+        self._supports: list[list[list[np.ndarray]]] = [
+            [[] for _ in range(self.num_fields)] for _ in trainers
         ]
         self.steps = 0
         self.rounds = 0
@@ -128,9 +182,11 @@ class SparseLoRASynchronizer:
         """One local update on rank ``r``, tracking its support set."""
         trainer = self.trainers[rank]
         loss = trainer.train_on(dense, sparse_ids, labels)
+        sparse_ids = np.asarray(sparse_ids)
         for f in range(self.num_fields):
-            touched = np.unique(np.asarray(sparse_ids)[:, f])
-            self._supports[rank][f].update(int(i) for i in touched)
+            self._supports[rank][f].append(
+                np.unique(sparse_ids[:, f]).astype(np.int64)
+            )
         return loss
 
     def step_all(self, batches) -> list[float]:
@@ -148,26 +204,39 @@ class SparseLoRASynchronizer:
         return losses
 
     # ------------------------------------------------------------------ sync
-    def _gather_rank_values(
-        self, field: int
-    ) -> list[dict[int, np.ndarray]]:
-        """Collect each rank's modified A rows for one field."""
-        out: list[dict[int, np.ndarray]] = []
+    def _support_ids(self, rank: int, field: int) -> np.ndarray:
+        """Consolidated support set S_r for one field (sorted, unique)."""
+        chunks = self._supports[rank][field]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(chunks))
+
+    def _gather_rank_rows(
+        self, field: int, target_rank: int, support: list[list[np.ndarray]]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Each rank's modified A rows for one field, padded to ``target_rank``."""
+        out: list[tuple[np.ndarray, np.ndarray]] = []
         for r, trainer in enumerate(self.trainers):
             adapter = trainer.lora[field]
-            values: dict[int, np.ndarray] = {}
-            for idx in self._supports[r][field]:
-                slot = adapter.slot_of(idx)
-                if slot is not None:
-                    values[idx] = adapter.a[slot].copy()
-            out.append(values)
+            ids, rows = adapter.gather_rows(support[r][field])
+            if rows.shape[1] != target_rank:
+                padded = np.zeros((rows.shape[0], target_rank))
+                width = min(rows.shape[1], target_rank)
+                padded[:, :width] = rows[:, :width]
+                rows = padded
+            out.append((ids, rows))
         return out
 
     def sync(self) -> SyncReport:
-        """One full Algorithm-3 round: gather, priority-merge, broadcast."""
+        """One full Algorithm-3 round: gather, merge, broadcast."""
         self.rounds += 1
         merged_rows = 0
         bytes_per_rank = 0.0
+        # Consolidate every rank's support chunks exactly once per round.
+        support = [
+            [self._support_ids(r, f) for f in range(self.num_fields)]
+            for r in range(self.num_ranks)
+        ]
         # Highest rank that performed any update wins the dense B factors
         # (B's "indices" are in every updating rank's support, so the
         # max-rank rule selects the top updater).
@@ -175,42 +244,34 @@ class SparseLoRASynchronizer:
             (
                 r
                 for r in range(self.num_ranks)
-                if any(self._supports[r][f] for f in range(self.num_fields))
+                if any(support[r][f].size for f in range(self.num_fields))
             ),
             default=None,
         )
+        merge_fn = (
+            priority_merge_rows
+            if self.merge_policy == "priority"
+            else average_merge_rows
+        )
         for f in range(self.num_fields):
-            rank_values = self._gather_rank_values(f)
-            merge_fn = (
-                priority_merge if self.merge_policy == "priority" else average_merge
-            )
-            merged = merge_fn(rank_values)
-            merged_rows += len(merged)
             target_rank = max(
                 (t.lora[f].rank for t in self.trainers), default=1
             )
+            per_rank = self._gather_rank_rows(f, target_rank, support)
+            merged_ids, merged = merge_fn(per_rank, target_rank)
+            merged_rows += merged_ids.size
             row_bytes = target_rank * 8
-            bytes_per_rank += sum(len(v) for v in rank_values) * row_bytes / max(
-                self.num_ranks, 1
-            )
+            bytes_per_rank += sum(
+                ids.size for ids, _ in per_rank
+            ) * row_bytes / max(self.num_ranks, 1)
             for trainer in self.trainers:
                 adapter = trainer.lora[f]
                 if adapter.rank != target_rank:
                     adapter.resize_rank(target_rank)
                 if top_rank is not None:
-                    src_b = self.trainers[top_rank].lora[f].b
-                    adapter.b = src_b.copy()
-                for idx, value in merged.items():
-                    slot = adapter.activate(idx)
-                    if slot is None:
-                        continue
-                    v = value
-                    if v.shape[0] != target_rank:
-                        padded = np.zeros(target_rank)
-                        padded[: v.shape[0]] = v[:target_rank]
-                        v = padded
-                    adapter.a[slot] = v
-                trainer.hot_filter.mark(f, np.fromiter(merged, dtype=np.int64, count=len(merged)))
+                    adapter.b = self.trainers[top_rank].lora[f].b.copy()
+                adapter.scatter_rows(merged_ids, merged)
+                trainer.hot_filter.mark(f, merged_ids)
         # The exchange is an aggregating tree: payload stays near the merged
         # size at every level because replicas touch overlapping hot ids.
         merged_bytes = bytes_per_rank * self.num_ranks
@@ -238,14 +299,13 @@ class SparseLoRASynchronizer:
         """
         if self.num_ranks < 2:
             return 0.0
-        ids = sorted(
-            set().union(
-                *(set(t.lora[field].active_ids.tolist()) for t in self.trainers)
+        ids_arr = np.unique(
+            np.concatenate(
+                [t.lora[field].active_ids for t in self.trainers]
             )
         )
-        if not ids:
+        if ids_arr.size == 0:
             return 0.0
-        ids_arr = np.array(ids, dtype=np.int64)
         deltas = [t.lora[field].delta_rows(ids_arr) for t in self.trainers]
         worst = 0.0
         for i in range(len(deltas)):

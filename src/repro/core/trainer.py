@@ -115,8 +115,18 @@ class LoRATrainer:
             max(8, int(cfg.capacity_fraction * t.num_rows))
             for t in model.embeddings
         ]
-        self.lora = LoRACollection(dims, cfg.rank, capacities, seed=cfg.seed)
-        self.hot_filter = HotIndexFilter(len(dims))
+        self.lora = LoRACollection(
+            dims,
+            cfg.rank,
+            capacities,
+            seed=cfg.seed,
+            universes=[t.num_rows for t in model.embeddings],
+        )
+        # Table sizes are known, so every field gets the dense O(1)-per-id
+        # hot-index layout (ids here are embedding row indices).
+        self.hot_filter = HotIndexFilter(
+            len(dims), num_rows=[t.num_rows for t in model.embeddings]
+        )
         self.rank_monitors = [
             RankMonitor(
                 alpha=cfg.alpha, min_rank=cfg.min_rank, max_rank=cfg.max_rank
@@ -211,10 +221,10 @@ class LoRATrainer:
                 if cfg.dynamic_tau and self.usage[f].num_tracked:
                     self.usage[f].refresh_tau_from_window(cfg.hot_fraction)
                 decision = self.usage[f].decide()
-                active = set(int(i) for i in decision.active_ids)
-                for idx in list(adapter.active_ids):
-                    if int(idx) not in active:
-                        adapter.deactivate(int(idx))
+                stale = np.setdiff1d(
+                    adapter.active_ids, decision.active_ids, assume_unique=True
+                )
+                adapter.deactivate_batch(stale)
                 if decision.new_capacity != adapter.capacity:
                     adapter.resize_capacity(decision.new_capacity)
                     self.report.prune_events += 1

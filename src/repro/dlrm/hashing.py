@@ -14,23 +14,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.kernels import splitmix64 as _mix
+
 __all__ = ["HashingConfig", "FeatureHasher", "collision_rate"]
-
-# Multiplicative hashing constants (Knuth / splitmix-style avalanche).
-_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
-_MIX2 = np.uint64(0x94D049BB133111EB)
-
-
-def _mix(values: np.ndarray, seed: int) -> np.ndarray:
-    offset = (seed * 0x9E3779B97F4A7C15 + 1) % (1 << 64)
-    x = values.astype(np.uint64) + np.uint64(offset)
-    with np.errstate(over="ignore"):
-        x ^= x >> np.uint64(30)
-        x *= _MIX1
-        x ^= x >> np.uint64(27)
-        x *= _MIX2
-        x ^= x >> np.uint64(31)
-    return x
 
 
 @dataclass(frozen=True)

@@ -417,11 +417,15 @@ class ColocatedNodeSimulator:
         results = []
         for _ in range(cycles):
             state = partitioner.state
-            result = self.run_colocated_scheduled(
-                state.num_inference, max(state.num_training, 1)
-                if state.num_training
-                else 0,
-            )
+            if state.num_training:
+                result = self.run_colocated_scheduled(
+                    state.num_inference, state.num_training
+                )
+            else:
+                # Nothing granted to training this cycle: serve inference
+                # only instead of simulating a degenerate 1-byte trainer
+                # cache.
+                result = self.run_inference_only(state.num_inference)
             results.append(result)
             partitioner.observe(result.p99_ms)
         return results

@@ -4,15 +4,29 @@ Production serving shards traffic across inference nodes — by consistent
 hashing of a routing key (user/session) with load-aware spillover.  Routing
 is what creates the *node-local traffic distributions* LiveUpdate's local
 trainers adapt to, and what the EMT partitioning in Fig. 2 assumes.
+
+Hashing is :func:`repro.core.kernels.splitmix64`, never the builtin
+``hash()``: the builtin is salted per process (``PYTHONHASHSEED``), which
+would give every fleet member a different ring layout and make routing
+decisions irreproducible across processes.  The batch :meth:`route` path is
+one vectorised hash + ``np.searchsorted`` over the ring; the scalar probe
+loop is only taken when bounded-load capacity is configured *and* some node
+would saturate within the batch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.kernels import hash_combine, splitmix64
+
 __all__ = ["RouterStats", "ConsistentHashRouter"]
+
+# Fixed salt for request-key hashing: key placement is independent of the
+# ring seed so alternative ring layouts stay comparable (remap analysis).
+_KEY_SEED = 0x517CC1B7
 
 
 @dataclass
@@ -53,63 +67,113 @@ class ConsistentHashRouter:
             raise ValueError("virtual_nodes must be positive")
         self.node_ids = list(node_ids)
         self.capacity_qps = capacity_qps
-        rng = np.random.default_rng(seed)
-        points = []
-        for node in self.node_ids:
-            for v in range(virtual_nodes):
-                # deterministic ring position per (node, replica)
-                h = hash((node, v, seed)) % (1 << 32)
-                points.append((h, node))
-        points.sort()
-        self._ring_keys = np.array([p[0] for p in points], dtype=np.uint64)
-        self._ring_nodes = np.array([p[1] for p in points], dtype=np.int64)
+        nodes = np.repeat(np.asarray(self.node_ids, dtype=np.int64), virtual_nodes)
+        replicas = np.tile(
+            np.arange(virtual_nodes, dtype=np.int64), len(self.node_ids)
+        )
+        # deterministic ring position per (node, replica), stable across
+        # processes; ties broken by node id for a reproducible ring order
+        keys = hash_combine(nodes, replicas, seed) % np.uint64(1 << 32)
+        order = np.lexsort((nodes, keys))
+        self._ring_keys = keys[order]
+        self._ring_nodes = nodes[order]
+        # dense per-node position for array-based load accounting
+        self._nodes_sorted = np.unique(np.asarray(self.node_ids, dtype=np.int64))
+        self._ring_node_pos = np.searchsorted(self._nodes_sorted, self._ring_nodes)
+        self._load = np.zeros(self._nodes_sorted.size, dtype=np.int64)
         self.stats = RouterStats()
-        self._window_load: dict[int, int] = {n: 0 for n in self.node_ids}
 
     # ---------------------------------------------------------------- basics
-    def _ring_lookup(self, key_hash: int) -> int:
-        idx = int(np.searchsorted(self._ring_keys, key_hash % (1 << 32)))
-        if idx == len(self._ring_keys):
-            idx = 0
+    @property
+    def _window_load(self) -> dict[int, int]:
+        """Current window's per-node request count (diagnostic view)."""
+        return {
+            int(n): int(l) for n, l in zip(self._nodes_sorted, self._load)
+        }
+
+    def _key_hashes(self, routing_keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(routing_keys).astype(np.int64)
+        return splitmix64(keys, _KEY_SEED) % np.uint64(1 << 32)
+
+    def _ring_indices(self, routing_keys: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self._ring_keys, self._key_hashes(routing_keys))
+        idx[idx == self._ring_keys.size] = 0
         return idx
 
-    def route_one(self, routing_key: int) -> int:
-        """Route a single request key to a node id."""
-        idx = self._ring_lookup(hash((int(routing_key), "k")) % (1 << 32))
-        for probe in range(len(self._ring_nodes)):
-            node = int(self._ring_nodes[(idx + probe) % len(self._ring_nodes)])
+    def _route_probed(self, idx: int) -> int:
+        """Scalar bounded-load probe starting at ring position ``idx``."""
+        n = self._ring_nodes.size
+        for probe in range(n):
+            pos = int(self._ring_node_pos[(idx + probe) % n])
             if (
                 self.capacity_qps is None
-                or self._window_load[node] < self.capacity_qps
+                or self._load[pos] < self.capacity_qps
             ):
-                self._window_load[node] += 1
+                self._load[pos] += 1
                 if probe == 0:
                     self.stats.routed += 1
                 else:
                     self.stats.spilled += 1
-                return node
+                return int(self._nodes_sorted[pos])
         # everything saturated: take the home node anyway
-        node = int(self._ring_nodes[idx])
-        self._window_load[node] += 1
+        pos = int(self._ring_node_pos[idx])
+        self._load[pos] += 1
         self.stats.spilled += 1
-        return node
+        return int(self._nodes_sorted[pos])
+
+    def route_one(self, routing_key: int) -> int:
+        """Route a single request key to a node id."""
+        idx = int(self._ring_indices(np.array([int(routing_key)]))[0])
+        return self._route_probed(idx)
 
     def route(self, routing_keys: np.ndarray) -> np.ndarray:
-        """Vector routing; returns the node id per request."""
-        return np.array(
-            [self.route_one(int(k)) for k in np.asarray(routing_keys)],
-            dtype=np.int64,
+        """Vector routing; returns the node id per request.
+
+        Fully vectorised whenever no node saturates within the batch; the
+        sequential probe loop only runs when bounded-load spillover can
+        actually occur.
+        """
+        keys = np.asarray(routing_keys).reshape(-1)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        idx = self._ring_indices(keys)
+        home_counts = np.bincount(
+            self._ring_node_pos[idx], minlength=self._nodes_sorted.size
         )
+        if self.capacity_qps is not None and np.any(
+            (self._load + home_counts > self.capacity_qps) & (home_counts > 0)
+        ):
+            return np.array(
+                [self._route_probed(int(i)) for i in idx], dtype=np.int64
+            )
+        self._load += home_counts
+        self.stats.routed += keys.size
+        return self._ring_nodes[idx].copy()
 
     def reset_window(self) -> None:
         """Start a new load-accounting window (e.g. every second)."""
-        for node in self._window_load:
-            self._window_load[node] = 0
+        self._load[:] = 0
 
     # -------------------------------------------------------------- analysis
+    def assign(self, routing_keys: np.ndarray) -> np.ndarray:
+        """The assignment :meth:`route` would produce from the current
+        state, without consuming capacity or touching :attr:`stats`."""
+        saved_routed = self.stats.routed
+        saved_spilled = self.stats.spilled
+        saved_load = self._load.copy()
+        try:
+            return self.route(routing_keys)
+        finally:
+            self.stats.routed = saved_routed
+            self.stats.spilled = saved_spilled
+            self._load = saved_load
+
     def load_split(self, routing_keys: np.ndarray) -> dict[int, float]:
-        """Fraction of the given traffic landing on each node."""
-        assignment = self.route(np.asarray(routing_keys))
+        """Fraction of the given traffic landing on each node.
+
+        Analysis only: routing state (window load, stats) is unchanged.
+        """
+        assignment = self.assign(np.asarray(routing_keys))
         total = len(assignment)
         return {
             int(n): float((assignment == n).sum()) / total
@@ -127,8 +191,8 @@ class ConsistentHashRouter:
 
         Consistent hashing's selling point: adding/removing a node remaps
         only ~1/N of traffic, keeping node-local adaptation (and caches)
-        warm for everyone else.
+        warm for everyone else.  Side-effect-free on both routers.
         """
-        mine = self.route(np.asarray(keys))
-        theirs = other.route(np.asarray(keys))
+        mine = self.assign(np.asarray(keys))
+        theirs = other.assign(np.asarray(keys))
         return float((mine != theirs).mean())

@@ -1,8 +1,13 @@
 """Tests for the consistent-hash request router."""
 
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
+import repro
 from repro.serving.router import ConsistentHashRouter
 
 
@@ -59,6 +64,88 @@ class TestBoundedLoad:
         router.route(keys[50:100])
         # fresh window: the first 50 fit again without spilling beyond
         assert router.stats.spilled == before
+
+
+class TestDeterminism:
+    """Ring layout and routing must not depend on the process hash seed.
+
+    Regression: the seed implementation used the builtin ``hash()``, which
+    is salted per process via PYTHONHASHSEED, so two fleet members could
+    disagree on every routing decision.
+    """
+
+    PINNED_KEYS = [0, 1, 42, 12345, 999_999_999, 2**31 - 1]
+
+    def test_pinned_assignments(self):
+        router = ConsistentHashRouter([0, 1, 2, 3], virtual_nodes=64, seed=0)
+        assert router.route(np.array(self.PINNED_KEYS)).tolist() == [
+            1, 0, 1, 0, 3, 2,
+        ]
+        other = ConsistentHashRouter([10, 20, 30], virtual_nodes=16, seed=7)
+        assert other.route(np.array(self.PINNED_KEYS)).tolist() == [
+            20, 10, 10, 10, 20, 20,
+        ]
+
+    def test_route_one_agrees_with_batch(self):
+        router = ConsistentHashRouter([0, 1, 2, 3], seed=3)
+        batch = router.assign(np.array(self.PINNED_KEYS))
+        singles = [
+            ConsistentHashRouter([0, 1, 2, 3], seed=3).route_one(k)
+            for k in self.PINNED_KEYS
+        ]
+        assert batch.tolist() == singles
+
+    @pytest.mark.parametrize("hash_seed", ["0", "42"])
+    def test_identical_across_processes(self, hash_seed):
+        """Routing is byte-identical under different PYTHONHASHSEED."""
+        snippet = (
+            "import numpy as np;"
+            "from repro.serving.router import ConsistentHashRouter;"
+            "r = ConsistentHashRouter([0, 1, 2, 3], virtual_nodes=64, seed=0);"
+            "print(r.route(np.arange(200)).tolist())"
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        out = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout.strip()
+        here = ConsistentHashRouter([0, 1, 2, 3], virtual_nodes=64, seed=0)
+        assert out == str(here.route(np.arange(200)).tolist())
+
+
+class TestAnalysisSideEffectFree:
+    """Measuring the router must not consume capacity or inflate stats."""
+
+    def _snapshot(self, router):
+        return (
+            router.stats.routed,
+            router.stats.spilled,
+            dict(router._window_load),
+        )
+
+    def test_load_split_and_imbalance_leave_state_unchanged(self, keys):
+        router = ConsistentHashRouter([0, 1, 2, 3], capacity_qps=30)
+        router.route(keys[:60])  # some real traffic first
+        before = self._snapshot(router)
+        router.load_split(keys[:500])
+        router.imbalance(keys[:500])
+        assert self._snapshot(router) == before
+
+    def test_remap_fraction_leaves_both_routers_unchanged(self, keys):
+        a = ConsistentHashRouter([0, 1, 2], seed=1, capacity_qps=100)
+        b = ConsistentHashRouter([0, 1, 2, 3], seed=1, capacity_qps=100)
+        before_a, before_b = self._snapshot(a), self._snapshot(b)
+        a.remap_fraction(b, keys[:400])
+        assert self._snapshot(a) == before_a
+        assert self._snapshot(b) == before_b
+
+    def test_assign_matches_route_from_same_state(self, keys):
+        router = ConsistentHashRouter([0, 1, 2], capacity_qps=50)
+        preview = router.assign(keys[:120])
+        actual = router.route(keys[:120])
+        np.testing.assert_array_equal(preview, actual)
 
 
 class TestRemapStability:
