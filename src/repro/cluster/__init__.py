@@ -16,6 +16,13 @@ from .consistency import (
 from .network import GBE_100, INFINIBAND_EDR, NetworkLink, transfer_seconds
 from .nodes import InferenceNode, PullReport, PushReport, TrainingCluster
 from .parameter_server import ParameterServer, ShardStats
+from .shardstore import (
+    ClientTransferReport,
+    RebalanceReport,
+    ShardClient,
+    ShardPlacement,
+    ShardedParameterStore,
+)
 from .timeline import UpdateEvent, UpdateTimeline, simulate_periodic_updates
 from .version_manager import GateResult, ModelVersionManager, VersionRecord
 
@@ -29,6 +36,11 @@ __all__ = [
     "parameter_divergence",
     "ParameterServer",
     "ShardStats",
+    "ShardedParameterStore",
+    "ShardClient",
+    "ShardPlacement",
+    "ClientTransferReport",
+    "RebalanceReport",
     "CollectiveCostModel",
     "allgather_tree_seconds",
     "allgather_ring_seconds",

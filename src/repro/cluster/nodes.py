@@ -3,12 +3,19 @@
 These wrap the DLRM substrate into the deployment roles of Fig. 2:
 
 * :class:`TrainingCluster` continuously trains its own replica on the
-  streaming data and pushes changed embedding rows to the parameter server.
+  streaming data and pushes changed embedding rows to the parameter plane.
 * :class:`InferenceNode` serves predictions from a (possibly stale) replica
-  and can pull deltas from the parameter server to catch up.
+  and can pull deltas from the parameter plane to catch up.
 
 Both operate on real parameters so accuracy timelines are measured, not
-modelled; transfer *times* come from the network cost model.
+modelled, and both speak to the store through a
+:class:`repro.cluster.shardstore.ShardClient` session: the trainer stages
+every touched table and flushes the window as ONE version bump (version
+batching across tables), and the node pulls all tables' deltas in one
+batched round against its client sync point.  Transfer *times* come from
+the client's network cost model.  Either a raw
+:class:`ShardedParameterStore` or the legacy :class:`ParameterServer`
+facade is accepted as the ``server``.
 """
 
 from __future__ import annotations
@@ -22,8 +29,15 @@ from ..dlrm.model import DLRM
 from ..dlrm.optim import RowwiseAdagrad
 from .network import NetworkLink, GBE_100
 from .parameter_server import ParameterServer
+from .shardstore import ShardClient, ShardedParameterStore
 
 __all__ = ["PushReport", "PullReport", "TrainingCluster", "InferenceNode"]
+
+
+def _store_of(
+    server: ParameterServer | ShardedParameterStore,
+) -> ShardedParameterStore:
+    return server.store if isinstance(server, ParameterServer) else server
 
 
 @dataclass
@@ -51,21 +65,22 @@ class TrainingCluster:
 
     Args:
         model: the training replica (owned and mutated).
-        server: destination parameter server.
-        link: training-cluster -> parameter-server network path.
+        server: destination parameter plane (sharded store or facade).
+        link: training-cluster -> parameter-plane network path.
         lr: learning rate of the row-wise Adagrad optimizer.
     """
 
     def __init__(
         self,
         model: DLRM,
-        server: ParameterServer,
+        server: ParameterServer | ShardedParameterStore,
         link: NetworkLink = GBE_100,
         lr: float = 0.05,
     ) -> None:
         self.model = model
         self.server = server
         self.link = link
+        self.client = ShardClient(_store_of(server), link=link)
         self.optimizer = RowwiseAdagrad(lr=lr)
         self.steps_trained = 0
 
@@ -79,34 +94,33 @@ class TrainingCluster:
         return result.loss
 
     def publish_changed_rows(self) -> PushReport:
-        """Push every row touched since the last publish (delta push)."""
-        rows_pushed = 0
-        version = self.server.version
+        """Push every row touched since the last publish (delta push).
+
+        All tables are staged on the client and flushed as one publish
+        event: one version bump per window however many tables changed.
+        """
         for f, table in enumerate(self.model.embeddings):
             touched = table.touched_rows()
             if touched.size == 0:
                 continue
-            version = self.server.publish_batch(
-                f"table_{f}", touched, table.weight[touched]
-            )
-            rows_pushed += int(touched.size)
+            self.client.stage(f"table_{f}", touched, table.weight[touched])
             table.reset_touched()
-        nbytes = rows_pushed * self.server.row_bytes
+        report = self.client.flush()
         return PushReport(
-            version=version,
-            rows_pushed=rows_pushed,
-            bytes_pushed=nbytes,
-            transfer_seconds=self.link.transfer_seconds(nbytes) if nbytes else 0.0,
+            version=report.version,
+            rows_pushed=report.rows,
+            bytes_pushed=report.bytes,
+            transfer_seconds=report.seconds,
         )
 
 
 class InferenceNode:
-    """One serving replica that pulls updates from the parameter server."""
+    """One serving replica that pulls updates from the parameter plane."""
 
     def __init__(
         self,
         model: DLRM,
-        server: ParameterServer,
+        server: ParameterServer | ShardedParameterStore,
         link: NetworkLink = GBE_100,
         node_id: int = 0,
     ) -> None:
@@ -114,47 +128,46 @@ class InferenceNode:
         self.server = server
         self.link = link
         self.node_id = node_id
-        self.synced_version = server.version
+        self.client = ShardClient(_store_of(server), link=link)
         self.pull_log: list[PullReport] = []
+
+    @property
+    def synced_version(self) -> int:
+        return self.client.synced_version
 
     def predict(self, batch: Batch, overlay=None) -> np.ndarray:
         return self.model.predict(batch.dense, batch.sparse_ids, overlay=overlay)
 
     def staleness_versions(self) -> int:
-        """How many publish events behind the server this node is."""
-        return self.server.version - self.synced_version
+        """How many publish events behind the store this node is."""
+        return self.client.staleness_versions()
 
     def pull_updates(
         self, row_filter: np.ndarray | None = None
     ) -> PullReport:
-        """Apply every delta newer than our synced version.
+        """Apply every delta newer than our synced version, one batched round.
 
         Args:
             row_filter: optional id whitelist per pull (QuickUpdate-style
                 priority subsetting happens upstream at publish time; this
                 filter exists for partial-pull experiments).
         """
+        tables = [f"table_{f}" for f in range(len(self.model.embeddings))]
+        deltas, _ = self.client.pull_tables(tables, row_filter=row_filter)
         total_rows = 0
         for f, table in enumerate(self.model.embeddings):
-            indices, rows, version = self.server.pull_delta(
-                f"table_{f}", self.synced_version
-            )
+            indices, rows = deltas[tables[f]]
             if indices.size == 0:
                 continue
-            if row_filter is not None:
-                keep = np.isin(indices, row_filter)
-                indices, rows = indices[keep], rows[keep]
-            if indices.size:
-                valid = indices < table.num_rows
-                table.assign_rows(indices[valid], rows[valid])
-                total_rows += int(valid.sum())
-        self.synced_version = self.server.version
-        nbytes = total_rows * self.server.row_bytes
+            valid = indices < table.num_rows
+            table.assign_rows(indices[valid], rows[valid])
+            total_rows += int(valid.sum())
+        nbytes = total_rows * self.client.store.row_bytes
         report = PullReport(
             version=self.synced_version,
             rows_pulled=total_rows,
             bytes_pulled=nbytes,
-            transfer_seconds=self.link.transfer_seconds(nbytes) if nbytes else 0.0,
+            transfer_seconds=self.client.transfer_seconds(nbytes),
         )
         self.pull_log.append(report)
         return report
@@ -162,4 +175,4 @@ class InferenceNode:
     def adopt_model(self, source: DLRM) -> None:
         """Full-parameter refresh from a source replica (hourly full sync)."""
         self.model.load_state_dict(source.state_dict())
-        self.synced_version = self.server.version
+        self.client.mark_synced()

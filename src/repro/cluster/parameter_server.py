@@ -1,30 +1,24 @@
-"""Sharded, versioned parameter server (the Redis-style tier in Fig. 2).
+"""Legacy parameter-server API as a facade over the sharded store.
 
-Production DLRM deployments push trained parameters to a sharded KV store,
-which inference nodes pull from.  The simulator keeps real NumPy rows so the
-accuracy experiments can actually move parameters through it, while also
-exposing the bookkeeping the systems experiments need: version batching,
-delta logs (which rows changed since version v), and per-shard volume
-accounting for transfer-cost models.
+The original ``ParameterServer`` was a single per-row Python dict: its
+``pull_delta`` scanned every key in the world and its ``_shard_of`` used the
+salted builtin ``hash()``, so shard statistics differed between processes
+with different ``PYTHONHASHSEED``.  The real storage now lives in
+:mod:`repro.cluster.shardstore`; this module keeps the seed API surface —
+``publish_batch`` / ``pull_rows`` / ``pull_delta`` / ``delta_volume_bytes``
+and per-shard stats — as a thin delegation layer so existing callers and
+tests keep working, while inheriting splitmix64 placement (deterministic
+across processes), O(changed) delta pulls, and vectorized row gathers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
+from .shardstore.shard import ShardStats
+from .shardstore.store import ShardedParameterStore
+
 __all__ = ["ShardStats", "ParameterServer"]
-
-
-@dataclass
-class ShardStats:
-    """Write/read accounting for one shard."""
-
-    rows_written: int = 0
-    rows_read: int = 0
-    bytes_written: int = 0
-    bytes_read: int = 0
 
 
 class ParameterServer:
@@ -37,30 +31,48 @@ class ParameterServer:
     version — exactly the delta-update protocol of Section II-B.
 
     Args:
-        num_shards: hash shards (affects stats granularity only).
+        num_shards: splitmix64 hash shards.
         row_bytes: accounting size per row (dtype bytes x dim).
+        row_dim: row width when known up front; otherwise pinned at each
+            table's first publish.
     """
 
-    def __init__(self, num_shards: int = 8, row_bytes: int = 128) -> None:
-        if num_shards <= 0:
-            raise ValueError("need at least one shard")
+    def __init__(
+        self,
+        num_shards: int = 8,
+        row_bytes: int = 128,
+        row_dim: int | None = None,
+    ) -> None:
+        self.store = ShardedParameterStore(
+            num_shards=num_shards, row_bytes=row_bytes, row_dim=row_dim
+        )
         self.num_shards = num_shards
         self.row_bytes = row_bytes
-        self.version = 0
-        self._rows: dict[tuple[str, int], np.ndarray] = {}
-        self._row_version: dict[tuple[str, int], int] = {}
-        self.shard_stats = [ShardStats() for _ in range(num_shards)]
 
     # ----------------------------------------------------------------- basics
+    @property
+    def version(self) -> int:
+        return self.store.version
+
+    @property
+    def shard_stats(self) -> list[ShardStats]:
+        return self.store.shard_stats
+
     def _shard_of(self, key: tuple[str, int]) -> int:
-        return hash(key) % self.num_shards
+        """Owning shard of one ``(table, row_id)`` key.
+
+        Routed through the splitmix64 placement ring — never the salted
+        builtin ``hash()`` — so every process agrees on the answer.
+        """
+        table, row_id = key
+        return int(self.store.placement.shard_of(table, np.array([row_id]))[0])
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self.store)
 
     @property
     def total_bytes(self) -> int:
-        return len(self._rows) * self.row_bytes
+        return self.store.total_bytes
 
     # ----------------------------------------------------------------- writes
     def publish_batch(
@@ -71,74 +83,25 @@ class ParameterServer:
         Version batching: one publish call = one synchronization event, no
         matter how many rows it carries (Section II-B's "version batching").
         """
-        indices = np.asarray(indices, dtype=np.int64)
-        if rows.shape[0] != indices.shape[0]:
-            raise ValueError("indices and rows disagree on length")
-        self.version += 1
-        for i, row in zip(indices, rows):
-            key = (table, int(i))
-            self._rows[key] = np.array(row, dtype=np.float64, copy=True)
-            self._row_version[key] = self.version
-            stats = self.shard_stats[self._shard_of(key)]
-            stats.rows_written += 1
-            stats.bytes_written += self.row_bytes
-        return self.version
+        return self.store.publish_batch(table, indices, rows)
 
     # ------------------------------------------------------------------ reads
     def pull_rows(
         self, table: str, indices: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Point lookups; returns (found_mask, rows) with zeros for misses."""
-        indices = np.asarray(indices, dtype=np.int64)
-        dim = None
-        for key in ((table, int(i)) for i in indices):
-            if key in self._rows:
-                dim = self._rows[key].shape[0]
-                break
-        if dim is None:
-            return np.zeros(len(indices), dtype=bool), np.zeros((len(indices), 1))
-        mask = np.zeros(len(indices), dtype=bool)
-        out = np.zeros((len(indices), dim))
-        for j, i in enumerate(indices):
-            key = (table, int(i))
-            row = self._rows.get(key)
-            if row is not None:
-                mask[j] = True
-                out[j] = row
-                stats = self.shard_stats[self._shard_of(key)]
-                stats.rows_read += 1
-                stats.bytes_read += self.row_bytes
-        return mask, out
+        return self.store.pull_rows(table, indices)
 
     def pull_delta(
         self, table: str, since_version: int
     ) -> tuple[np.ndarray, np.ndarray, int]:
-        """All rows of ``table`` newer than ``since_version``.
+        """All rows of ``table`` newer than ``since_version``; O(changed).
 
         Returns ``(indices, rows, current_version)``; the caller records the
         returned version as its new sync point.
         """
-        hits = [
-            (key[1], self._rows[key])
-            for key, ver in self._row_version.items()
-            if key[0] == table and ver > since_version
-        ]
-        if not hits:
-            return np.array([], dtype=np.int64), np.zeros((0, 1)), self.version
-        hits.sort(key=lambda kv: kv[0])
-        indices = np.array([h[0] for h in hits], dtype=np.int64)
-        rows = np.stack([h[1] for h in hits])
-        for i in indices:
-            stats = self.shard_stats[self._shard_of((table, int(i)))]
-            stats.rows_read += 1
-            stats.bytes_read += self.row_bytes
-        return indices, rows, self.version
+        return self.store.pull_delta(table, since_version)
 
     def delta_volume_bytes(self, table: str, since_version: int) -> int:
         """Bytes a delta pull *would* transfer (no read accounting)."""
-        count = sum(
-            1
-            for key, ver in self._row_version.items()
-            if key[0] == table and ver > since_version
-        )
-        return count * self.row_bytes
+        return self.store.delta_volume_bytes(table, since_version)

@@ -1,0 +1,32 @@
+"""Sharded parameter-plane subsystem (the Fig. 2 KV tier, array-native).
+
+Four pieces:
+
+* :mod:`placement` — splitmix64 consistent-hash key -> shard mapping,
+  byte-identical across processes (never the salted builtin ``hash()``);
+* :mod:`shard` — per-shard dense row blocks over
+  :class:`repro.core.kernels.IdSlotTable` with append-only delta logs;
+* :mod:`store` — :class:`ShardedParameterStore`: vectorized partitioned
+  publishes, O(changed) delta pulls, live shard add/remove;
+* :mod:`client` — :class:`ShardClient`: staged version-batched publishes,
+  batched multi-table pulls, alpha-beta transfer-cost charging.
+
+The legacy :class:`repro.cluster.parameter_server.ParameterServer` is a
+thin compatibility facade over this package.
+"""
+
+from .client import ClientTransferReport, ShardClient
+from .placement import ShardPlacement, stable_table_hash
+from .shard import ParameterShard, ShardStats
+from .store import RebalanceReport, ShardedParameterStore
+
+__all__ = [
+    "ClientTransferReport",
+    "ShardClient",
+    "ShardPlacement",
+    "stable_table_hash",
+    "ParameterShard",
+    "ShardStats",
+    "RebalanceReport",
+    "ShardedParameterStore",
+]

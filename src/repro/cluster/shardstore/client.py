@@ -1,0 +1,171 @@
+"""Batched client sessions against the sharded parameter store.
+
+A :class:`ShardClient` is what a training cluster or inference node holds
+instead of a raw store reference: it *stages* publishes so a whole window's
+tables flush as one version bump (version batching), issues batched
+multi-table delta pulls against a single per-client sync point, and charges
+every transfer through the alpha-beta cost model of
+:mod:`repro.cluster.collectives` over a :class:`repro.cluster.network`
+link — shard fan-out happens in parallel, so a transfer pays the link's
+setup latency once plus bandwidth time for the total volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..collectives import CollectiveCostModel
+from ..network import GBE_100, NetworkLink
+from .store import ShardedParameterStore
+
+__all__ = ["ClientTransferReport", "ShardClient"]
+
+
+@dataclass
+class ClientTransferReport:
+    """Accounting for one batched publish flush or delta pull."""
+
+    version: int
+    rows: int
+    bytes: int
+    seconds: float
+    tables: list[str] = field(default_factory=list)
+
+
+class ShardClient:
+    """One producer/consumer session against a :class:`ShardedParameterStore`.
+
+    Args:
+        store: the shared parameter plane.
+        link: network path between this client and the store tier.
+        contention: fraction of the link consumed by competing traffic.
+    """
+
+    def __init__(
+        self,
+        store: ShardedParameterStore,
+        link: NetworkLink = GBE_100,
+        contention: float = 0.0,
+    ) -> None:
+        self.store = store
+        self.link = link
+        self.contention = contention
+        self.cost = CollectiveCostModel(link)
+        self.synced_version = store.version
+        self._staged: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+        self.push_log: list[ClientTransferReport] = []
+        self.pull_log: list[ClientTransferReport] = []
+
+    # ------------------------------------------------------------------ cost
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Modelled wall time to move ``nbytes`` between client and store.
+
+        Per-shard streams overlap, so the latency (alpha) term is paid once
+        and the bandwidth (beta) term covers the total volume — the same
+        closed form as ``link.transfer_seconds`` under the collectives'
+        alpha-beta model.
+        """
+        if nbytes <= 0:
+            return 0.0
+        return self.link.transfer_seconds(nbytes, contention=self.contention)
+
+    # --------------------------------------------------------------- publish
+    @property
+    def staged_rows(self) -> int:
+        return sum(
+            ids.size for parts in self._staged.values() for ids, _ in parts
+        )
+
+    def stage(self, table: str, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Queue rows for the next :meth:`flush` (no store interaction yet)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[0] != indices.shape[0]:
+            raise ValueError("indices and rows disagree on length")
+        if indices.size:
+            self._staged.setdefault(table, []).append((indices, rows))
+
+    def flush(self) -> ClientTransferReport:
+        """Publish everything staged as ONE version bump / sync event."""
+        if not self._staged:
+            return ClientTransferReport(
+                version=self.store.version, rows=0, bytes=0, seconds=0.0
+            )
+        batches = []
+        total_rows = 0
+        for table, parts in self._staged.items():
+            ids = np.concatenate([p[0] for p in parts])
+            rows = np.concatenate([p[1] for p in parts], axis=0)
+            batches.append((table, ids, rows))
+            total_rows += int(ids.size)
+        version = self.store.publish_many(batches)
+        self._staged.clear()
+        nbytes = total_rows * self.store.row_bytes
+        report = ClientTransferReport(
+            version=version,
+            rows=total_rows,
+            bytes=nbytes,
+            seconds=self.transfer_seconds(nbytes),
+            tables=[t for t, _, _ in batches],
+        )
+        self.push_log.append(report)
+        return report
+
+    def publish(
+        self, table: str, indices: np.ndarray, rows: np.ndarray
+    ) -> ClientTransferReport:
+        """Unbatched convenience: stage one table and flush immediately."""
+        self.stage(table, indices, rows)
+        return self.flush()
+
+    # ------------------------------------------------------------------ pull
+    def staleness_versions(self) -> int:
+        """Publish events between this client's sync point and the store."""
+        return self.store.version - self.synced_version
+
+    def mark_synced(self) -> None:
+        """Adopt the store's current version without pulling (full sync)."""
+        self.synced_version = self.store.version
+
+    def pull_tables(
+        self,
+        tables: list[str],
+        row_filter: np.ndarray | None = None,
+    ) -> tuple[dict[str, tuple[np.ndarray, np.ndarray]], ClientTransferReport]:
+        """Batched delta pull for several tables since this client's sync point.
+
+        Returns ``(deltas, report)`` where ``deltas[table] = (ids, rows)``.
+        The sync point advances to the store's current version — one
+        round-trip covers every table.
+        """
+        since = self.synced_version
+        deltas: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        total_rows = 0
+        for table in tables:
+            ids, rows, _ = self.store.pull_delta(table, since)
+            if row_filter is not None and ids.size:
+                keep = np.isin(ids, row_filter)
+                ids, rows = ids[keep], rows[keep]
+            deltas[table] = (ids, rows)
+            total_rows += int(ids.size)
+        self.synced_version = self.store.version
+        nbytes = total_rows * self.store.row_bytes
+        report = ClientTransferReport(
+            version=self.synced_version,
+            rows=total_rows,
+            bytes=nbytes,
+            seconds=self.transfer_seconds(nbytes),
+            tables=list(tables),
+        )
+        self.pull_log.append(report)
+        return deltas, report
+
+    def pull_table(
+        self, table: str, row_filter: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, ClientTransferReport]:
+        """Single-table delta pull against the client sync point."""
+        deltas, report = self.pull_tables([table], row_filter=row_filter)
+        ids, rows = deltas[table]
+        return ids, rows, report

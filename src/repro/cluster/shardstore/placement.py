@@ -1,0 +1,105 @@
+"""Deterministic shard placement for the parameter plane.
+
+A ``(table, row_id)`` key must land on the same shard in every process of
+the fleet — trainers publish from one process, inference nodes pull from
+dozens of others — so placement can never touch the salted builtin
+``hash()``.  Keys are folded to a stable 64-bit routing key with
+:func:`repro.core.kernels.splitmix64` / :func:`hash_combine` and placed on
+the *same consistent-hash ring implementation the request router uses*
+(:class:`repro.serving.router.ConsistentHashRouter` over shard ids), so the
+parameter plane inherits the ring's properties for free: smooth key-range
+splits via virtual nodes, and minimal remapping when shards are added or
+removed (``remap_fraction`` is literally the router's analysis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.kernels import hash_combine, stable_str_hash
+from ...serving.router import ConsistentHashRouter
+
+__all__ = ["stable_table_hash", "ShardPlacement"]
+
+# Salt separating parameter-plane key hashing from request routing: the
+# same row id used as a routing key elsewhere must not correlate with its
+# shard placement.
+_PLACEMENT_SEED = 0x5A17D570
+
+#: Table names hash through the shared kernel-layer string hash.
+stable_table_hash = stable_str_hash
+
+
+class ShardPlacement:
+    """Key -> shard mapping over a consistent-hash ring of shard ids.
+
+    Args:
+        shard_ids: the shards currently in the store.
+        virtual_nodes: ring points per shard (smooths the key-range split).
+        seed: ring seed; every process of a deployment must use the same.
+    """
+
+    def __init__(
+        self,
+        shard_ids: list[int],
+        virtual_nodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.virtual_nodes = virtual_nodes
+        self.seed = seed
+        self._router = ConsistentHashRouter(
+            list(shard_ids), virtual_nodes=virtual_nodes, seed=seed
+        )
+        self.shard_ids = list(self._router.node_ids)
+        self._table_hashes: dict[str, int] = {}
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_ids)
+
+    # ------------------------------------------------------------------ keys
+    def _table_hash(self, table: str) -> int:
+        cached = self._table_hashes.get(table)
+        if cached is None:
+            cached = self._table_hashes[table] = stable_table_hash(table)
+        return cached
+
+    def key_hashes(self, table: str, row_ids: np.ndarray) -> np.ndarray:
+        """Stable 64-bit routing key per ``(table, row_id)``."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        return hash_combine(
+            row_ids, np.uint64(self._table_hash(table)), _PLACEMENT_SEED
+        )
+
+    def shard_of(self, table: str, row_ids: np.ndarray) -> np.ndarray:
+        """Owning shard id per row, in one vectorized ring lookup."""
+        return self._router.assign(self.key_hashes(table, row_ids))
+
+    # ----------------------------------------------------------- membership
+    def with_shard_added(self, shard_id: int) -> "ShardPlacement":
+        if shard_id in self.shard_ids:
+            raise ValueError(f"shard {shard_id} already placed")
+        return ShardPlacement(
+            self.shard_ids + [shard_id], self.virtual_nodes, self.seed
+        )
+
+    def with_shard_removed(self, shard_id: int) -> "ShardPlacement":
+        if shard_id not in self.shard_ids:
+            raise ValueError(f"shard {shard_id} not placed")
+        if len(self.shard_ids) == 1:
+            raise ValueError("cannot remove the last shard")
+        remaining = [s for s in self.shard_ids if s != shard_id]
+        return ShardPlacement(remaining, self.virtual_nodes, self.seed)
+
+    # -------------------------------------------------------------- analysis
+    def remap_fraction(
+        self, other: "ShardPlacement", table: str, row_ids: np.ndarray
+    ) -> float:
+        """Fraction of the given keys that change shards between layouts.
+
+        Reuses the router's side-effect-free ``remap_fraction`` analysis;
+        consistent hashing keeps this near ``1/N`` per shard changed.
+        """
+        return self._router.remap_fraction(
+            other._router, self.key_hashes(table, row_ids)
+        )

@@ -1,0 +1,311 @@
+"""One shard of the parameter plane: array-native rows + delta log.
+
+Each shard stores its tables as dense row blocks — an
+:class:`repro.core.kernels.IdSlotTable` maps row ids to slots in a
+``(capacity, dim)`` float array with a parallel ``int64`` version vector —
+and keeps an append-only *delta log* of ``(version, row_id)`` entries.
+Because versions only ever grow, the log stays sorted by construction and
+``pull_delta(since)`` is a ``searchsorted`` plus a slice over exactly the
+entries newer than ``since``: O(changed rows), never a scan of the world.
+The log idiom follows the low-rank delta-update storage of git-theta
+(checkpoint-vcs): persist what changed per version, reconstruct any
+read-point by slicing, and compact losslessly by keeping the latest entry
+per id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.kernels import IdSlotTable
+
+__all__ = ["ShardStats", "ParameterShard"]
+
+
+@dataclass
+class ShardStats:
+    """Write/read accounting for one shard."""
+
+    rows_written: int = 0
+    rows_read: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+
+class _TableBlock:
+    """Rows of one table resident on one shard."""
+
+    def __init__(self, dim: int, capacity: int = 64) -> None:
+        self.dim = dim
+        self.capacity = capacity
+        self.slots = IdSlotTable(capacity)
+        self.rows = np.zeros((capacity, dim))
+        self.row_version = np.zeros(capacity, dtype=np.int64)
+        # Append-only (version, id) log, sorted by version by construction.
+        self._log_versions = np.empty(64, dtype=np.int64)
+        self._log_ids = np.empty(64, dtype=np.int64)
+        self._log_len = 0
+
+    # -------------------------------------------------------------- geometry
+    @property
+    def num_rows(self) -> int:
+        return self.slots.size
+
+    @property
+    def resident_ids(self) -> np.ndarray:
+        """Ids stored in this block, ascending."""
+        return self.slots.keys
+
+    @property
+    def log_len(self) -> int:
+        return self._log_len
+
+    def rewiden(self, dim: int) -> None:
+        """Grow the row width; existing rows zero-pad on the right."""
+        if dim <= self.dim:
+            return
+        wider = np.zeros((self.capacity, dim))
+        wider[:, : self.dim] = self.rows
+        self.rows = wider
+        self.dim = dim
+
+    def _grow_block(self, need: int) -> None:
+        """Double the row block, repacking slots to ``0..n-1`` in key order."""
+        keys = self.slots.keys
+        old_slots = self.slots.lookup(keys)
+        new_capacity = max(self.capacity * 2, self.slots.size + need)
+        new_rows = np.zeros((new_capacity, self.dim))
+        new_versions = np.zeros(new_capacity, dtype=np.int64)
+        new_rows[: keys.size] = self.rows[old_slots]
+        new_versions[: keys.size] = self.row_version[old_slots]
+        self.slots.rebuild_sorted(keys, new_capacity)
+        self.rows = new_rows
+        self.row_version = new_versions
+        self.capacity = new_capacity
+
+    def _ensure_slots(self, ids: np.ndarray) -> np.ndarray:
+        slots, _ = self.slots.insert(ids)
+        if (slots < 0).any():
+            self._grow_block(int((slots < 0).sum()))
+            slots, _ = self.slots.insert(ids)
+        return slots
+
+    def _log_append(self, version: int, ids: np.ndarray) -> None:
+        n = ids.size
+        if self._log_len + n > self._log_versions.size:
+            new_size = max(self._log_versions.size * 2, self._log_len + n)
+            self._log_versions = np.resize(self._log_versions, new_size)
+            self._log_ids = np.resize(self._log_ids, new_size)
+        self._log_versions[self._log_len : self._log_len + n] = version
+        self._log_ids[self._log_len : self._log_len + n] = ids
+        self._log_len += n
+
+    # ---------------------------------------------------------------- writes
+    def publish(self, ids: np.ndarray, rows: np.ndarray, version: int) -> int:
+        """Write unique, sorted ``ids`` at ``version``; returns rows written."""
+        slots = self._ensure_slots(ids)
+        self.rows[slots] = rows
+        self.row_version[slots] = version
+        self._log_append(version, ids)
+        return int(ids.size)
+
+    def ingest(
+        self, ids: np.ndarray, rows: np.ndarray, versions: np.ndarray
+    ) -> None:
+        """Adopt rows migrated from another shard, preserving their versions.
+
+        Incoming log entries interleave with resident ones, so the merged
+        log is re-sorted by version (stable) to keep the slice invariant.
+        """
+        slots = self._ensure_slots(ids)
+        self.rows[slots] = rows
+        self.row_version[slots] = versions
+        before = self._log_len
+        self._log_append(0, ids)  # placeholder versions, overwritten next
+        self._log_versions[before : self._log_len] = versions
+        # Exports arrive in id order, so the appended segment (and its seam
+        # with resident entries) may be version-unsorted; restore the
+        # sorted-by-version invariant the delta slice relies on.
+        merged = self._log_versions[: self._log_len]
+        if np.any(np.diff(merged) < 0):
+            order = np.argsort(merged, kind="stable")
+            self._log_versions[: self._log_len] = merged[order]
+            self._log_ids[: self._log_len] = self._log_ids[: self._log_len][order]
+
+    def drop(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Evict rows (shard rebalancing); returns ``(ids, rows, versions)``."""
+        ids = np.asarray(ids, dtype=np.int64)
+        slots = self.slots.lookup(ids)
+        present = slots >= 0
+        ids, slots = ids[present], slots[present]
+        out_rows = self.rows[slots].copy()
+        out_versions = self.row_version[slots].copy()
+        self.slots.remove(ids)
+        keep = ~np.isin(self._log_ids[: self._log_len], ids)
+        kept = int(keep.sum())
+        self._log_versions[:kept] = self._log_versions[: self._log_len][keep]
+        self._log_ids[:kept] = self._log_ids[: self._log_len][keep]
+        self._log_len = kept
+        return ids, out_rows, out_versions
+
+    def compact(self) -> int:
+        """Keep only the latest log entry per id; returns entries dropped.
+
+        Lossless for the delta protocol: ``pull_delta(since)`` returns the
+        ids whose *latest* version exceeds ``since``, which only needs each
+        id's newest entry.
+        """
+        n = self._log_len
+        if n == 0:
+            return 0
+        ids = self._log_ids[:n]
+        # Last occurrence per id == newest entry (log is version-sorted).
+        _, last_rev = np.unique(ids[::-1], return_index=True)
+        keep = np.sort(n - 1 - last_rev)
+        kept = keep.size
+        self._log_versions[:kept] = self._log_versions[:n][keep]
+        self._log_ids[:kept] = self._log_ids[:n][keep]
+        self._log_len = kept
+        return n - kept
+
+    # ----------------------------------------------------------------- reads
+    def changed_ids(self, since_version: int) -> np.ndarray:
+        """Unique ids with entries newer than ``since``; O(changed)."""
+        start = int(
+            np.searchsorted(
+                self._log_versions[: self._log_len], since_version, side="right"
+            )
+        )
+        if start == self._log_len:
+            return np.empty(0, dtype=np.int64)
+        tail = self._log_ids[start : self._log_len]
+        # The common steady-state tail is a single publish segment, already
+        # sorted-unique by construction; skip the np.unique sort then.
+        if tail.size == 1 or bool(np.all(tail[1:] > tail[:-1])):
+            return tail.copy()
+        return np.unique(tail)
+
+    def delta_since(self, since_version: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, rows)`` for every row changed after ``since``."""
+        ids = self.changed_ids(since_version)
+        if ids.size == 0:
+            return ids, np.zeros((0, self.dim))
+        # every logged id is resident by construction
+        return ids, self.rows[self.slots.lookup_present(ids)]
+
+    def lookup_rows(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Point gather; returns ``(found_mask, rows)`` with zeros on miss."""
+        slots = self.slots.lookup(ids)
+        found = slots >= 0
+        out = np.zeros((ids.size, self.dim))
+        out[found] = self.rows[slots[found]]
+        return found, out
+
+    def export_all(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ids = self.resident_ids
+        slots = self.slots.lookup(ids)
+        return ids, self.rows[slots].copy(), self.row_version[slots].copy()
+
+
+class ParameterShard:
+    """One shard: per-table row blocks, delta logs, and I/O accounting."""
+
+    def __init__(self, shard_id: int, row_bytes: int) -> None:
+        self.shard_id = shard_id
+        self.row_bytes = row_bytes
+        self.stats = ShardStats()
+        self._blocks: dict[str, _TableBlock] = {}
+
+    # -------------------------------------------------------------- geometry
+    @property
+    def tables(self) -> list[str]:
+        return list(self._blocks)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(b.num_rows for b in self._blocks.values())
+
+    @property
+    def log_entries(self) -> int:
+        return sum(b.log_len for b in self._blocks.values())
+
+    def block(self, table: str) -> _TableBlock | None:
+        return self._blocks.get(table)
+
+    def resident_ids(self, table: str) -> np.ndarray:
+        block = self._blocks.get(table)
+        return block.resident_ids if block else np.empty(0, dtype=np.int64)
+
+    # ---------------------------------------------------------------- writes
+    def publish(
+        self, table: str, ids: np.ndarray, rows: np.ndarray, version: int
+    ) -> int:
+        """Write unique sorted ids; charges write stats; returns rows written."""
+        block = self._blocks.get(table)
+        if block is None:
+            block = self._blocks[table] = _TableBlock(dim=rows.shape[1])
+        written = block.publish(ids, rows, version)
+        self.stats.rows_written += written
+        self.stats.bytes_written += written * self.row_bytes
+        return written
+
+    def ingest(
+        self,
+        table: str,
+        ids: np.ndarray,
+        rows: np.ndarray,
+        versions: np.ndarray,
+    ) -> None:
+        if ids.size == 0:
+            return
+        block = self._blocks.get(table)
+        if block is None:
+            block = self._blocks[table] = _TableBlock(dim=rows.shape[1])
+        block.ingest(ids, rows, versions)
+
+    def drop(self, table: str, ids: np.ndarray):
+        block = self._blocks.get(table)
+        if block is None:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.zeros((0, 1)),
+                np.empty(0, dtype=np.int64),
+            )
+        return block.drop(ids)
+
+    def compact(self) -> int:
+        """Compact every table's delta log; returns total entries dropped."""
+        return sum(b.compact() for b in self._blocks.values())
+
+    # ----------------------------------------------------------------- reads
+    def pull_delta(
+        self, table: str, since_version: int, charge: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        block = self._blocks.get(table)
+        if block is None:
+            return np.empty(0, dtype=np.int64), np.zeros((0, 1))
+        ids, rows = block.delta_since(since_version)
+        if charge and ids.size:
+            self.stats.rows_read += int(ids.size)
+            self.stats.bytes_read += int(ids.size) * self.row_bytes
+        return ids, rows
+
+    def changed_count(self, table: str, since_version: int) -> int:
+        block = self._blocks.get(table)
+        return 0 if block is None else int(block.changed_ids(since_version).size)
+
+    def pull_rows(
+        self, table: str, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(found, rows)`` for ids this shard owns; None if table unknown."""
+        block = self._blocks.get(table)
+        if block is None:
+            return None
+        found, rows = block.lookup_rows(ids)
+        hits = int(found.sum())
+        if hits:
+            self.stats.rows_read += hits
+            self.stats.bytes_read += hits * self.row_bytes
+        return found, rows

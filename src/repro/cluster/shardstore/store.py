@@ -1,0 +1,313 @@
+"""The sharded parameter store: the Fig. 2 KV tier, array-native.
+
+``ShardedParameterStore`` partitions ``(table, row_id)`` keys across N
+:class:`ParameterShard` instances via the splitmix64 consistent-hash
+:class:`ShardPlacement` — byte-identical placement in every process of the
+fleet, unlike the seed store's salted ``hash()``.  Publishes partition their
+index batch per shard in one vectorized pass (one owner lookup + one
+argsort); pulls slice each shard's delta log, so ``pull_delta(since)`` costs
+O(changed rows) rather than the seed's O(all rows) dict scan.  Version
+batching is preserved: one publish event = one global version bump however
+many tables and rows it carries.
+
+Shards can be added or removed live: consistent hashing remaps only the
+splitmix64-owned key ranges of the shards that changed (~1/N of keys), and
+:meth:`add_shard` / :meth:`remove_shard` migrate exactly those rows, log
+entries included, so delta semantics survive rebalancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .placement import ShardPlacement
+from .shard import ParameterShard, ShardStats
+
+__all__ = ["RebalanceReport", "ShardedParameterStore"]
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of one shard add/remove migration."""
+
+    shard_ids: list[int]
+    rows_moved: int
+    rows_total: int
+    bytes_moved: int
+
+    @property
+    def moved_fraction(self) -> float:
+        return self.rows_moved / self.rows_total if self.rows_total else 0.0
+
+
+class ShardedParameterStore:
+    """Versioned row store sharded by stable hash of ``(table, row_id)``.
+
+    Args:
+        num_shards: initial shard count (ids ``0..N-1``).
+        row_bytes: accounting size per row for transfer-cost models.
+        row_dim: row width, when known up front; otherwise pinned at each
+            table's first publish (no more probing rows to learn the dim).
+        virtual_nodes: ring points per shard.
+        seed: placement ring seed (must match across the fleet).
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 8,
+        row_bytes: int = 128,
+        row_dim: int | None = None,
+        virtual_nodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("need at least one shard")
+        self.row_bytes = row_bytes
+        self.row_dim = row_dim
+        self.version = 0
+        self.placement = ShardPlacement(
+            list(range(num_shards)), virtual_nodes=virtual_nodes, seed=seed
+        )
+        self.shards: dict[int, ParameterShard] = {
+            sid: ParameterShard(sid, row_bytes) for sid in range(num_shards)
+        }
+        self._dims: dict[str, int] = {}
+
+    # -------------------------------------------------------------- geometry
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def shard_ids(self) -> list[int]:
+        return sorted(self.shards)
+
+    @property
+    def shard_stats(self) -> list[ShardStats]:
+        """Per-shard accounting, in ascending shard-id order."""
+        return [self.shards[sid].stats for sid in self.shard_ids]
+
+    def __len__(self) -> int:
+        return sum(s.num_rows for s in self.shards.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self) * self.row_bytes
+
+    def dim_of(self, table: str) -> int:
+        """Row width of ``table`` (constructor/first-publish pin, else 1)."""
+        return self._dims.get(table, self.row_dim if self.row_dim else 1)
+
+    # ---------------------------------------------------------------- writes
+    @staticmethod
+    def _dedupe_last(
+        indices: np.ndarray, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Unique ids ascending; on duplicates the last occurrence wins."""
+        _, first_in_reversed = np.unique(indices[::-1], return_index=True)
+        keep = indices.size - 1 - first_in_reversed
+        return indices[keep], rows[keep]
+
+    @staticmethod
+    def _normalize_batch(
+        indices: np.ndarray, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shape/dtype validation, BEFORE any version bump or write."""
+        indices = np.asarray(indices, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[0] != indices.shape[0]:
+            raise ValueError("indices and rows disagree on length")
+        return indices, rows
+
+    def _reconcile_width(
+        self, table: str, rows: np.ndarray
+    ) -> np.ndarray:
+        """Keep one row width per table across every shard.
+
+        A wider batch re-widens the table's blocks on all shards (existing
+        rows zero-pad on the right); a narrower batch zero-pads the incoming
+        rows — the correct semantics for rank-adapted LoRA factors, whose
+        pruned trailing components are zero.
+        """
+        width = int(rows.shape[1])
+        known = self._dims.get(table)
+        if known is None:
+            self._dims[table] = width
+        elif width > known:
+            self._dims[table] = width
+            for shard in self.shards.values():
+                block = shard.block(table)
+                if block is not None:
+                    block.rewiden(width)
+        elif width < known:
+            rows = np.pad(rows, ((0, 0), (0, known - width)))
+        return rows
+
+    def _publish_into(
+        self, table: str, indices: np.ndarray, rows: np.ndarray, version: int
+    ) -> int:
+        rows = self._reconcile_width(table, rows)
+        if indices.size == 0:
+            return 0
+        ids, ids_rows = self._dedupe_last(indices, rows)
+        owners = self.placement.shard_of(table, ids)
+        # One vectorized partition pass: group-sort ids by owning shard.
+        order = np.argsort(owners, kind="stable")
+        owners, ids, ids_rows = owners[order], ids[order], ids_rows[order]
+        bounds = np.flatnonzero(np.r_[True, owners[1:] != owners[:-1]])
+        written = 0
+        for start, stop in zip(bounds, np.r_[bounds[1:], owners.size]):
+            sid = int(owners[start])
+            written += self.shards[sid].publish(
+                table, ids[start:stop], ids_rows[start:stop], version
+            )
+        return written
+
+    def publish_batch(
+        self, table: str, indices: np.ndarray, rows: np.ndarray
+    ) -> int:
+        """Write rows under a freshly bumped version; returns that version."""
+        indices, rows = self._normalize_batch(indices, rows)
+        self.version += 1
+        self._publish_into(table, indices, rows, self.version)
+        return self.version
+
+    def publish_many(
+        self, batches: list[tuple[str, np.ndarray, np.ndarray]]
+    ) -> int:
+        """Several tables under ONE version bump (one synchronization event).
+
+        This is the client-side batching primitive: a trainer pushing all
+        its embedding tables at a window boundary is one publish event, not
+        one per table.  Every batch validates before the bump, so a
+        malformed batch leaves the version (and every table) untouched.
+        """
+        normalized = [
+            (table, *self._normalize_batch(indices, rows))
+            for table, indices, rows in batches
+        ]
+        self.version += 1
+        for table, indices, rows in normalized:
+            self._publish_into(table, indices, rows, self.version)
+        return self.version
+
+    # ----------------------------------------------------------------- reads
+    def pull_rows(
+        self, table: str, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Point lookups; returns ``(found_mask, rows)``, zeros for misses."""
+        indices = np.asarray(indices, dtype=np.int64)
+        mask = np.zeros(indices.size, dtype=bool)
+        out = np.zeros((indices.size, self.dim_of(table)))
+        if indices.size == 0:
+            return mask, out
+        owners = self.placement.shard_of(table, indices)
+        for sid in np.unique(owners):
+            sel = owners == sid
+            result = self.shards[int(sid)].pull_rows(table, indices[sel])
+            if result is None:
+                continue
+            found, rows = result
+            sub = np.flatnonzero(sel)[found]
+            mask[sub] = True
+            out[sub] = rows[found]
+        return mask, out
+
+    def pull_delta(
+        self, table: str, since_version: int
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """All rows of ``table`` newer than ``since_version``; O(changed).
+
+        Returns ``(indices, rows, current_version)``; the caller records the
+        returned version as its new sync point.  ``since_version`` at or
+        beyond the current version (including "in the future") yields an
+        empty delta.
+        """
+        parts = [
+            self.shards[sid].pull_delta(table, since_version)
+            for sid in self.shard_ids
+        ]
+        parts = [p for p in parts if p[0].size]
+        if not parts:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.zeros((0, self.dim_of(table))),
+                self.version,
+            )
+        ids = np.concatenate([p[0] for p in parts])
+        rows = np.concatenate([p[1] for p in parts], axis=0)
+        order = np.argsort(ids)  # shards own disjoint key sets
+        return ids[order], rows[order], self.version
+
+    def delta_volume_bytes(self, table: str, since_version: int) -> int:
+        """Bytes a delta pull *would* transfer (no read accounting)."""
+        return self.row_bytes * sum(
+            s.changed_count(table, since_version) for s in self.shards.values()
+        )
+
+    def delta_shard_volumes(
+        self, table: str, since_version: int
+    ) -> dict[int, int]:
+        """Per-shard byte volume of a prospective delta pull."""
+        return {
+            sid: self.shards[sid].changed_count(table, since_version)
+            * self.row_bytes
+            for sid in self.shard_ids
+        }
+
+    # ----------------------------------------------------------- maintenance
+    def compact(self) -> int:
+        """Compact every shard's delta logs; returns entries dropped."""
+        return sum(s.compact() for s in self.shards.values())
+
+    def _migrate_to(self, new_placement: ShardPlacement) -> RebalanceReport:
+        rows_total = len(self)
+        rows_moved = 0
+        staged: list[tuple[int, str, np.ndarray, np.ndarray, np.ndarray]] = []
+        for sid in self.shard_ids:
+            shard = self.shards[sid]
+            for table in shard.tables:
+                resident = shard.resident_ids(table)
+                if resident.size == 0:
+                    continue
+                owner = new_placement.shard_of(table, resident)
+                moving = resident[owner != sid]
+                if moving.size == 0:
+                    continue
+                ids, rows, versions = shard.drop(table, moving)
+                dest = owner[owner != sid]
+                for new_sid in np.unique(dest):
+                    sel = dest == new_sid
+                    staged.append(
+                        (int(new_sid), table, ids[sel], rows[sel], versions[sel])
+                    )
+                rows_moved += int(ids.size)
+        old_ids = set(self.shards)
+        self.placement = new_placement
+        for sid in new_placement.shard_ids:
+            if sid not in old_ids:
+                self.shards[sid] = ParameterShard(sid, self.row_bytes)
+        for sid in old_ids - set(new_placement.shard_ids):
+            del self.shards[sid]
+        for sid, table, ids, rows, versions in staged:
+            self.shards[sid].ingest(table, ids, rows, versions)
+        return RebalanceReport(
+            shard_ids=self.shard_ids,
+            rows_moved=rows_moved,
+            rows_total=rows_total,
+            bytes_moved=rows_moved * self.row_bytes,
+        )
+
+    def add_shard(self, shard_id: int | None = None) -> RebalanceReport:
+        """Grow the ring by one shard, migrating only the keys it now owns."""
+        if shard_id is None:
+            shard_id = max(self.shards) + 1
+        return self._migrate_to(self.placement.with_shard_added(shard_id))
+
+    def remove_shard(self, shard_id: int) -> RebalanceReport:
+        """Drain one shard; its keys remap, everyone else's stay put."""
+        if shard_id not in self.shards:
+            raise ValueError(f"unknown shard {shard_id}")
+        return self._migrate_to(self.placement.with_shard_removed(shard_id))

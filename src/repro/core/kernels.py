@@ -23,7 +23,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["splitmix64", "hash_combine", "sorted_find", "IdSlotTable"]
+__all__ = [
+    "splitmix64",
+    "hash_combine",
+    "stable_str_hash",
+    "sorted_find",
+    "IdSlotTable",
+]
 
 # Multiplicative avalanche constants (splitmix64 finaliser).
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -56,6 +62,27 @@ def hash_combine(a: np.ndarray, b: np.ndarray, seed: int = 0) -> np.ndarray:
             np.asarray(b).astype(np.uint64) * np.uint64(_GOLDEN)
         )
     return splitmix64(mixed, seed + 1)
+
+
+def stable_str_hash(text: str, seed: int = 0) -> int:
+    """Process-stable 64-bit hash of a string (table names, route labels).
+
+    UTF-8 bytes are packed little-endian into ``uint64`` words, each word is
+    mixed with its position (so permutations don't collide), and the words
+    are XOR-folded through one final avalanche.  Deterministic across
+    processes, platforms and ``PYTHONHASHSEED`` — use this, never the salted
+    builtin ``hash()``, wherever a string key decides placement.
+    """
+    data = text.encode("utf-8")
+    padded = data + b"\x00" * (-len(data) % 8)
+    if padded:
+        words = np.frombuffer(padded, dtype="<u8")
+    else:
+        words = np.zeros(1, dtype=np.uint64)
+    positions = np.arange(words.size, dtype=np.uint64)
+    mixed = hash_combine(words, positions, seed)
+    folded = np.bitwise_xor.reduce(mixed) ^ np.uint64(len(data))
+    return int(splitmix64(folded.reshape(1), seed + 1)[0])
 
 
 def sorted_find(keys: np.ndarray, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -184,6 +211,19 @@ class IdSlotTable:
         found, pos = sorted_find(self._keys, ids)
         out[found] = self._vals[pos[found]]
         return out
+
+    def lookup_present(self, ids: np.ndarray) -> np.ndarray:
+        """Slot per id for ids the caller KNOWS are in the table.
+
+        Skips the miss handling of :meth:`lookup` (one searchsorted + one
+        take); results are undefined for absent ids.  Hot-path primitive
+        for delta-log slices, where every logged id is resident by
+        construction.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if self._dense is not None:
+            return self._dense[ids]
+        return self._vals[np.searchsorted(self._keys, ids)]
 
     def get(self, idx: int) -> int | None:
         """Scalar lookup (compat shim for slow paths and tests)."""

@@ -17,6 +17,12 @@ reference (and public) formulation of the merge rule.
 Communication cost is modelled with the tree-AllGather collective from
 :mod:`repro.cluster.collectives`, which is what gives Fig. 19 its O(log N)
 scaling.
+
+When a :class:`repro.cluster.shardstore.ShardedParameterStore` is attached,
+every sync round also publishes the merged adapter rows through a batched
+:class:`ShardClient` — one version bump per round covering every field —
+so replicas that join late (or external observers) can catch up with an
+O(changed) ``pull_delta`` instead of a fresh all-to-all exchange.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import numpy as np
 
 from ..cluster.collectives import CollectiveCostModel
 from ..cluster.network import INFINIBAND_EDR, NetworkLink
+from ..cluster.shardstore import ClientTransferReport, ShardClient, ShardedParameterStore
 from .trainer import LoRATrainer
 
 __all__ = [
@@ -144,6 +151,9 @@ class SparseLoRASynchronizer:
             = list position, which drives merge priority).
         sync_interval: steps between synchronization rounds (``T_sync``).
         link: intra-cluster fabric for the cost model.
+        store: optional sharded parameter store; when given, each round's
+            merged adapter rows are published through a batched client
+            (tables ``lora_a/<field>``, one version per round).
     """
 
     def __init__(
@@ -152,6 +162,7 @@ class SparseLoRASynchronizer:
         sync_interval: int = 64,
         link: NetworkLink = INFINIBAND_EDR,
         merge_policy: str = "priority",
+        store: ShardedParameterStore | None = None,
     ) -> None:
         if not trainers:
             raise ValueError("need at least one rank")
@@ -172,6 +183,10 @@ class SparseLoRASynchronizer:
         self.steps = 0
         self.rounds = 0
         self.reports: list[SyncReport] = []
+        self.store_client = (
+            ShardClient(store, link=link) if store is not None else None
+        )
+        self.publish_reports: list[ClientTransferReport] = []
 
     @property
     def num_ranks(self) -> int:
@@ -260,6 +275,8 @@ class SparseLoRASynchronizer:
             per_rank = self._gather_rank_rows(f, target_rank, support)
             merged_ids, merged = merge_fn(per_rank, target_rank)
             merged_rows += merged_ids.size
+            if self.store_client is not None and merged_ids.size:
+                self.store_client.stage(f"lora_a/{f}", merged_ids, merged)
             row_bytes = target_rank * 8
             bytes_per_rank += sum(
                 ids.size for ids, _ in per_rank
@@ -277,6 +294,9 @@ class SparseLoRASynchronizer:
         merged_bytes = bytes_per_rank * self.num_ranks
         allgather_s = self.cost.tree_merge(self.num_ranks, merged_bytes)
         broadcast_s = self.cost.broadcast_tree(self.num_ranks, merged_bytes)
+        if self.store_client is not None:
+            # One version bump covers every field's merged rows this round.
+            self.publish_reports.append(self.store_client.flush())
         for r in range(self.num_ranks):
             for f in range(self.num_fields):
                 self._supports[r][f].clear()

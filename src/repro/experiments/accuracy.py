@@ -21,7 +21,7 @@ from typing import Callable
 import numpy as np
 
 from ..cluster.nodes import InferenceNode, TrainingCluster
-from ..cluster.parameter_server import ParameterServer
+from ..cluster.shardstore import ShardedParameterStore
 from ..data.synthetic import DriftingCTRStream, StreamConfig
 from ..dlrm.metrics import auc_roc
 from ..dlrm.model import DLRM, DLRMConfig
@@ -62,6 +62,7 @@ class AccuracyConfig:
     eval_window: int = 6     # slots per sliding AUC window
     train_lr: float = 0.05
     seed: int = 0
+    num_shards: int = 8      # parameter-plane shards
     stream_overrides: dict = field(default_factory=dict)
 
 
@@ -145,7 +146,11 @@ def run_strategy(
     every strategy sees the same data in the same order.
     """
     stream, base_model = build_pretrained_world(config)
-    server = ParameterServer(row_bytes=config.embedding_dim * 8)
+    server = ShardedParameterStore(
+        num_shards=config.num_shards,
+        row_bytes=config.embedding_dim * 8,
+        row_dim=config.embedding_dim,
+    )
     trainer_cluster = TrainingCluster(
         base_model.copy(), server, lr=config.train_lr
     )

@@ -1,8 +1,13 @@
-"""Tests for the versioned parameter server."""
+"""Tests for the versioned parameter server (facade over the shard store)."""
+
+import os
+import subprocess
+import sys
 
 import numpy as np
 import pytest
 
+import repro
 from repro.cluster.parameter_server import ParameterServer
 
 
@@ -80,3 +85,54 @@ class TestPull:
         rows += 99.0
         _, pulled = ps.pull_rows("t", np.array([0]))
         np.testing.assert_array_equal(pulled[0], np.zeros(4))
+
+    def test_pull_rows_vectorized_gather_many(self, ps):
+        """Large gathers come back correct without any per-id probing."""
+        ids = np.arange(500)
+        ps.publish_batch("t", ids, np.tile(ids[:, None], (1, 4)).astype(float))
+        mask, rows = ps.pull_rows("t", np.array([499, 7, 1000, 0]))
+        assert mask.tolist() == [True, True, False, True]
+        np.testing.assert_array_equal(rows[0], np.full(4, 499.0))
+        np.testing.assert_array_equal(rows[2], np.zeros(4))
+
+
+class TestShardDeterminism:
+    """Shard placement must not depend on the process hash seed.
+
+    Regression: the seed implementation's ``_shard_of`` used the builtin
+    ``hash()``, which is salted per process via PYTHONHASHSEED, so shard
+    statistics differed between processes.  Placement now routes through
+    the splitmix64 ring.
+    """
+
+    def test_pinned_shard_assignments(self):
+        ps = ParameterServer(num_shards=4, row_bytes=32)
+        shards = [ps._shard_of(("t", i)) for i in range(8)]
+        assert shards == [0, 2, 0, 0, 3, 1, 2, 3]
+
+    def test_shard_of_agrees_with_store_placement(self, ps):
+        ids = np.arange(64)
+        owners = ps.store.placement.shard_of("t", ids)
+        singles = [ps._shard_of(("t", int(i))) for i in ids]
+        assert owners.tolist() == singles
+
+    @pytest.mark.parametrize("hash_seed", ["0", "42"])
+    def test_shard_stats_identical_across_processes(self, hash_seed):
+        """Per-shard write counts are byte-identical under any PYTHONHASHSEED."""
+        snippet = (
+            "import numpy as np;"
+            "from repro.cluster.parameter_server import ParameterServer;"
+            "ps = ParameterServer(num_shards=4, row_bytes=32);"
+            "ps.publish_batch('t', np.arange(256), np.zeros((256, 4)));"
+            "print([s.rows_written for s in ps.shard_stats])"
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        out = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout.strip()
+        here = ParameterServer(num_shards=4, row_bytes=32)
+        here.publish_batch("t", np.arange(256), np.zeros((256, 4)))
+        assert out == str([s.rows_written for s in here.shard_stats])

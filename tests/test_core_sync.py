@@ -159,3 +159,45 @@ class TestSynchronizer:
         losses = sync.step_all([(b.dense, b.sparse_ids, b.labels)] * 2)
         assert len(losses) == 2
         assert all(l > 0 for l in losses)
+
+
+class TestStoreBroadcastPath:
+    """Merged rows publish to the sharded parameter plane when attached."""
+
+    def test_sync_publishes_merged_rows(self):
+        from repro.cluster.shardstore import ShardClient, ShardedParameterStore
+
+        trainers = _make_trainers(2)
+        store = ShardedParameterStore(num_shards=2, row_bytes=4 * 8)
+        sync = SparseLoRASynchronizer(trainers, sync_interval=10, store=store)
+        observer = ShardClient(store)
+        stream = _stream()
+        b = stream.next_batch(32)
+        sync.local_step(0, b.dense, b.sparse_ids, b.labels)
+        sync.local_step(1, b.dense, b.sparse_ids, b.labels)
+        report = sync.sync()
+        assert len(sync.publish_reports) == 1
+        # one version bump per round, covering every field's merged rows
+        assert store.version == 1
+        assert sync.publish_reports[0].rows == report.merged_rows
+        deltas, pull = observer.pull_tables(
+            [f"lora_a/{f}" for f in range(sync.num_fields)]
+        )
+        assert pull.rows == report.merged_rows
+        # the published rows match the merged A rows every rank applied
+        for f in range(sync.num_fields):
+            got_ids, got_rows = deltas[f"lora_a/{f}"]
+            if got_ids.size:
+                ids, rows = trainers[0].lora[f].gather_rows(got_ids)
+                np.testing.assert_array_equal(got_ids, ids)
+                np.testing.assert_allclose(got_rows, rows, atol=1e-9)
+
+    def test_no_store_means_no_publishing(self):
+        trainers = _make_trainers(2)
+        sync = SparseLoRASynchronizer(trainers, sync_interval=10)
+        stream = _stream()
+        b = stream.next_batch(16)
+        sync.local_step(0, b.dense, b.sparse_ids, b.labels)
+        sync.sync()
+        assert sync.store_client is None
+        assert sync.publish_reports == []
