@@ -1,0 +1,258 @@
+"""Serving-window cache-engine throughput: seed per-key loop vs batched.
+
+The serving-window simulator was the last per-key hot path in the tree:
+every inference lookup, trainer read and trainer write walked
+``LRUCache.access`` (one OrderedDict operation each) plus a per-key shadow
+publish/lookup.  This benchmark replays the exact colocated window of
+``ColocatedNodeSimulator.run_colocated_full`` — warm + inference streams
+through the serving cache, burst-chunked trainer reads/writes through the
+training cache, shadow-buffer absorption in between — through both
+implementations over identical precomputed streams:
+
+* **seed loop** — the pre-vectorization engine body, verbatim semantics:
+  ``repro.hardware.cache.LRUCache`` accesses one key at a time with
+  ``ShadowEmbeddingBuffer`` publishes/lookups per key;
+* **batched lru** — the engine's exactness-pinned mode:
+  ``repro.hardware.vectorcache.BatchLRUCache.access_many`` over whole
+  streams plus ``BatchedShadowReuse`` per trainer burst — must agree with
+  the seed loop on every hit/miss count (asserted);
+* **batched interval** — the engine's default ``cache_policy``:
+  the CLOCK-style :class:`~repro.hardware.vectorcache.IntervalCache`
+  coarse-recency model, whose hits are a checked conservative subset of
+  the exact LRU's.
+
+The CI gate applies to the default (interval) engine; the exact-LRU row is
+reported alongside so the cost of exactness stays visible.  Streams are
+generated once, outside the timers — they are the workload, not the
+engine.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cache_window_throughput.py
+    PYTHONPATH=src python benchmarks/bench_cache_window_throughput.py \
+        --accesses 100000 --check-speedup 10
+
+``--check-speedup X`` exits non-zero unless the batched window engine is at
+least ``X`` times faster (the CI smoke gate, mirroring the kernel and
+parameter-plane gates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.data.zipf import ZipfSampler
+from repro.hardware.cache import CacheStats, LRUCache
+from repro.hardware.reuse import BatchedShadowReuse, ShadowEmbeddingBuffer
+from repro.hardware.vectorcache import BatchLRUCache, IntervalCache
+
+MB = 1024 ** 2
+
+
+def build_window(accesses: int, num_rows: int, seed: int = 0):
+    """Streams + geometry of one colocated serving window (Fig. 16 shape)."""
+    training_ratio, read_fraction = 12.0, 0.4
+    inf_sampler = ZipfSampler(
+        num_rows, 0.9, rng=np.random.default_rng(seed + 1), method="alias"
+    )
+    train_sampler = ZipfSampler(
+        num_rows, 0.15, rng=np.random.default_rng(seed + 2), method="alias"
+    )
+    rng = np.random.default_rng(seed)
+    warm = inf_sampler.sample(accesses)
+    inf = inf_sampler.sample(accesses)
+    n_train = int(accesses * training_ratio)
+    n_read = int(n_train * read_fraction)
+    reads = rng.choice(inf, size=n_read, replace=True)
+    writes = train_sampler.sample(n_train - n_read)
+    return {
+        "num_rows": num_rows,
+        "row_bytes": 128,
+        "l3_inf": 10 * int(0.25 * MB),
+        "l3_train": 2 * int(0.25 * MB),
+        "burst": 256,
+        "trainer_burst_every": 8,
+        "reuse_capacity_rows": 40_000,
+        "warm": warm,
+        "inf": inf,
+        "reads": reads,
+        "writes": writes,
+    }
+
+
+def _trainer_schedule(w):
+    burst = w["burst"]
+    num_bursts = max(1, (len(w["inf"]) + burst - 1) // burst)
+    num_trainer_bursts = max(1, num_bursts // w["trainer_burst_every"])
+    read_chunk = (len(w["reads"]) + num_trainer_bursts - 1) // num_trainer_bursts
+    write_chunk = (
+        len(w["writes"]) + num_trainer_bursts - 1
+    ) // num_trainer_bursts
+    fired = num_bursts // w["trainer_burst_every"]
+    return fired, read_chunk, write_chunk
+
+
+def run_window_seed(w) -> tuple[CacheStats, CacheStats, int]:
+    """The pre-vectorization engine body: one dict op per key."""
+    cache_inf = LRUCache(w["l3_inf"])
+    cache_train = LRUCache(max(w["l3_train"], 1))
+    shadow = ShadowEmbeddingBuffer(w["reuse_capacity_rows"])
+    row_bytes = w["row_bytes"]
+    dummy = np.zeros((1, 1))
+    for key in w["warm"]:
+        cache_inf.access(int(key), row_bytes)
+        shadow.publish(0, np.array([key]), dummy)
+    inf_stats, train_stats = CacheStats(), CacheStats()
+    absorbed = 0
+    fired, read_chunk, write_chunk = _trainer_schedule(w)
+    burst, every = w["burst"], w["trainer_burst_every"]
+    inf, reads, writes = w["inf"], w["reads"], w["writes"]
+    num_bursts = max(1, (len(inf) + burst - 1) // burst)
+    read_offset, write_offset = 1 << 41, 1 << 40
+    trainer_step = 0
+    for b in range(num_bursts):
+        for key in inf[b * burst : (b + 1) * burst]:
+            if cache_inf.access(int(key), row_bytes):
+                inf_stats.hits += 1
+            else:
+                inf_stats.misses += 1
+            shadow.publish(0, np.array([key]), dummy)
+        if (b + 1) % every:
+            continue
+        t = trainer_step
+        trainer_step += 1
+        for key in reads[t * read_chunk : (t + 1) * read_chunk]:
+            if shadow.lookup(0, int(key)) is not None:
+                absorbed += 1
+                train_stats.hits += 1
+            elif cache_train.access(int(key) + read_offset, row_bytes):
+                train_stats.hits += 1
+            else:
+                train_stats.misses += 1
+        for key in writes[t * write_chunk : (t + 1) * write_chunk]:
+            if cache_train.access(int(key) + write_offset, row_bytes):
+                train_stats.hits += 1
+            else:
+                train_stats.misses += 1
+    return inf_stats, train_stats, absorbed
+
+
+def run_window_batched(w, policy: str = "lru") -> tuple[CacheStats, CacheStats, int]:
+    """The vectorized engine body: whole streams per cache."""
+    num_rows, row_bytes = w["num_rows"], w["row_bytes"]
+    factory = BatchLRUCache if policy == "lru" else IntervalCache
+    cache_inf = factory(w["l3_inf"], universe=num_rows)
+    cache_train = factory(max(w["l3_train"], 1), universe=2 * num_rows)
+    warm, inf, reads, writes = w["warm"], w["inf"], w["reads"], w["writes"]
+    cache_inf.access_many(warm, row_bytes)
+    inf_stats, train_stats = CacheStats(), CacheStats()
+    cache_inf.access_many(inf, row_bytes, stats=inf_stats)
+    shadow = BatchedShadowReuse(
+        np.concatenate([warm, inf]), w["reuse_capacity_rows"]
+    )
+    fired, read_chunk, write_chunk = _trainer_schedule(w)
+    burst, every = w["burst"], w["trainer_burst_every"]
+    absorbed = 0
+    pieces = []
+    for t in range(fired):
+        step_reads = reads[t * read_chunk : (t + 1) * read_chunk]
+        if step_reads.size:
+            prefix = warm.size + min(inf.size, (t + 1) * every * burst)
+            mask = shadow.absorbed(prefix, step_reads)
+            hits = int(mask.sum())
+            absorbed += hits
+            train_stats.hits += hits
+            step_reads = step_reads[~mask]
+        pieces.append(step_reads)
+        pieces.append(writes[t * write_chunk : (t + 1) * write_chunk] + num_rows)
+    if pieces:
+        cache_train.access_many(
+            np.concatenate(pieces), row_bytes, stats=train_stats
+        )
+    return inf_stats, train_stats, absorbed
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=100_000,
+                        help="inference accesses per window")
+    parser.add_argument("--rows", type=int, default=200_000)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        help="fail unless the batched window engine reaches this speedup",
+    )
+    args = parser.parse_args(argv)
+    if args.accesses < 1000:
+        parser.error("--accesses must be at least 1000")
+
+    w = build_window(args.accesses, args.rows)
+    total_keys = (
+        w["warm"].size + w["inf"].size + w["reads"].size + w["writes"].size
+    )
+
+    # correctness first: exact mode must agree with the seed loop on
+    # every aggregate, and the interval model's hits must be a
+    # conservative subset of the exact LRU's.
+    seed_res = run_window_seed(w)
+    lru_res = run_window_batched(w, "lru")
+    for s, v, label in zip(seed_res, lru_res, ("inference", "training", "absorbed")):
+        if isinstance(s, CacheStats):
+            assert (s.hits, s.misses) == (v.hits, v.misses), (
+                label, (s.hits, s.misses), (v.hits, v.misses))
+        else:
+            assert s == v, (label, s, v)
+    itv_res = run_window_batched(w, "interval")
+    assert itv_res[0].hits <= lru_res[0].hits
+    assert itv_res[1].hits <= lru_res[1].hits
+    assert itv_res[2] == lru_res[2]  # shadow absorption is policy-free
+
+    t_seed = _best_seconds(lambda: run_window_seed(w), args.repeats)
+    t_lru = _best_seconds(lambda: run_window_batched(w, "lru"), args.repeats)
+    t_itv = _best_seconds(
+        lambda: run_window_batched(w, "interval"), args.repeats
+    )
+    speedup = t_seed / t_itv
+
+    print(
+        f"serving-window cache engine @ {args.accesses:,}-access windows, "
+        f"{total_keys:,} cache/shadow touches (keys/sec)"
+    )
+    print(f"{'engine':<26} {'keys/s':>16} {'window time':>12}")
+    print(f"{'seed per-key loop':<26} {total_keys / t_seed:>16,.0f} {t_seed:>11.2f}s")
+    print(f"{'batched exact lru':<26} {total_keys / t_lru:>16,.0f} {t_lru:>11.2f}s")
+    print(f"{'batched interval (engine)':<26} {total_keys / t_itv:>16,.0f} {t_itv:>11.2f}s")
+    print(
+        f"speedup: {speedup:.1f}x (default engine policy)  |  "
+        f"exact lru: {t_seed / t_lru:.1f}x"
+    )
+
+    if args.check_speedup is not None:
+        if speedup < args.check_speedup:
+            print(
+                f"FAIL: window-engine speedup {speedup:.1f}x below "
+                f"{args.check_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: window-engine speedup >= {args.check_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,7 @@ exists), yet co-location still hurts latency — the damage is queueing and
 cache contention, not raw bandwidth exhaustion.
 """
 
+from repro.experiments.memory import bandwidth_pressure
 from repro.experiments.reporting import banner, format_table
 from repro.serving.engine import ColocatedNodeSimulator
 
@@ -21,12 +22,12 @@ def test_fig10_memory_pressure(once):
     results = once(run)
     rows = [
         [
-            name,
-            f"{r.memory_traffic_gbps:.1f} GB/s",
-            f"{r.memory_utilization * 100:.0f}%",
-            f"{r.p99_ms:.1f} ms",
+            row.label,
+            f"{row.traffic_gbps:.1f} GB/s",
+            f"{row.utilization * 100:.0f}%",
+            f"{row.p99_ms:.1f} ms",
         ]
-        for name, r in results.items()
+        for row in bandwidth_pressure(results)
     ]
     print(banner("Fig. 10: DDR pressure during inference"))
     print(format_table(["configuration", "traffic", "utilization", "P99"], rows))

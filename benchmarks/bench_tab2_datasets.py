@@ -1,4 +1,13 @@
-"""Table II — the dataset inventory used throughout the evaluation."""
+"""Table II — the dataset inventory used throughout the evaluation.
+
+Prints each dataset spec (rows, sparse fields, vocabulary sizes, on-disk
+footprint) from ``repro.data.datasets.TABLE_II`` and instantiates the live
+drifting-stream generator behind every spec, so a broken spec fails here
+rather than inside an accuracy bench.  No knobs — the inventory *is* the
+fixture every other benchmark builds on.  Expected output: one table row
+per dataset with EMT sizes in the multi-GB..TB range, mirroring the
+paper's Table II proportions.
+"""
 
 from repro.data.datasets import TABLE_II, build_stream
 from repro.experiments.reporting import banner, format_table

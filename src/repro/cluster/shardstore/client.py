@@ -37,10 +37,14 @@ class ClientTransferReport:
 class ShardClient:
     """One producer/consumer session against a :class:`ShardedParameterStore`.
 
-    Args:
-        store: the shared parameter plane.
-        link: network path between this client and the store tier.
-        contention: fraction of the link consumed by competing traffic.
+    Parameters
+    ----------
+    store : ShardedParameterStore
+        The shared parameter plane.
+    link : repro.cluster.network.NetworkLink, optional
+        Network path between this client and the store tier.
+    contention : float, optional
+        Fraction of the link consumed by competing traffic.
     """
 
     def __init__(
@@ -79,7 +83,17 @@ class ShardClient:
         )
 
     def stage(self, table: str, indices: np.ndarray, rows: np.ndarray) -> None:
-        """Queue rows for the next :meth:`flush` (no store interaction yet)."""
+        """Queue rows for the next :meth:`flush` (no store interaction yet).
+
+        Parameters
+        ----------
+        table : str
+            Destination table.
+        indices : numpy.ndarray of int64
+            Row ids to publish.
+        rows : numpy.ndarray
+            ``(len(indices), dim)`` payloads.
+        """
         indices = np.asarray(indices, dtype=np.int64)
         rows = np.asarray(rows, dtype=np.float64)
         if rows.ndim != 2 or rows.shape[0] != indices.shape[0]:
@@ -88,7 +102,14 @@ class ShardClient:
             self._staged.setdefault(table, []).append((indices, rows))
 
     def flush(self) -> ClientTransferReport:
-        """Publish everything staged as ONE version bump / sync event."""
+        """Publish everything staged as ONE version bump / sync event.
+
+        Returns
+        -------
+        ClientTransferReport
+            Rows/bytes moved and the alpha-beta modelled transfer time;
+            ``version`` is the bump all staged tables landed under.
+        """
         if not self._staged:
             return ClientTransferReport(
                 version=self.store.version, rows=0, bytes=0, seconds=0.0
@@ -136,9 +157,21 @@ class ShardClient:
     ) -> tuple[dict[str, tuple[np.ndarray, np.ndarray]], ClientTransferReport]:
         """Batched delta pull for several tables since this client's sync point.
 
-        Returns ``(deltas, report)`` where ``deltas[table] = (ids, rows)``.
-        The sync point advances to the store's current version — one
-        round-trip covers every table.
+        Parameters
+        ----------
+        tables : list of str
+            Tables to pull, all against the same sync point.
+        row_filter : numpy.ndarray of int64, optional
+            Keep only these row ids (an inference node pulls just its
+            partition).
+
+        Returns
+        -------
+        deltas : dict of str to (numpy.ndarray, numpy.ndarray)
+            ``deltas[table] = (ids, rows)`` newer than the sync point.
+        report : ClientTransferReport
+            Transfer accounting; the sync point advances to the store's
+            current version — one round-trip covers every table.
         """
         since = self.synced_version
         deltas: dict[str, tuple[np.ndarray, np.ndarray]] = {}

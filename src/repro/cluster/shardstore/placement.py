@@ -33,10 +33,14 @@ stable_table_hash = stable_str_hash
 class ShardPlacement:
     """Key -> shard mapping over a consistent-hash ring of shard ids.
 
-    Args:
-        shard_ids: the shards currently in the store.
-        virtual_nodes: ring points per shard (smooths the key-range split).
-        seed: ring seed; every process of a deployment must use the same.
+    Parameters
+    ----------
+    shard_ids : list of int
+        The shards currently in the store.
+    virtual_nodes : int, optional
+        Ring points per shard (smooths the key-range split).
+    seed : int, optional
+        Ring seed; every process of a deployment must use the same.
     """
 
     def __init__(
@@ -65,14 +69,40 @@ class ShardPlacement:
         return cached
 
     def key_hashes(self, table: str, row_ids: np.ndarray) -> np.ndarray:
-        """Stable 64-bit routing key per ``(table, row_id)``."""
+        """Stable 64-bit routing key per ``(table, row_id)``.
+
+        Parameters
+        ----------
+        table : str
+            Table name; folded through the kernel-layer string hash.
+        row_ids : numpy.ndarray of int64
+            Row ids within the table.
+
+        Returns
+        -------
+        numpy.ndarray of uint64
+            One placement key per row, byte-identical in every process.
+        """
         row_ids = np.asarray(row_ids, dtype=np.int64)
         return hash_combine(
             row_ids, np.uint64(self._table_hash(table)), _PLACEMENT_SEED
         )
 
     def shard_of(self, table: str, row_ids: np.ndarray) -> np.ndarray:
-        """Owning shard id per row, in one vectorized ring lookup."""
+        """Owning shard id per row, in one vectorized ring lookup.
+
+        Parameters
+        ----------
+        table : str
+            Table name.
+        row_ids : numpy.ndarray of int64
+            Row ids to place.
+
+        Returns
+        -------
+        numpy.ndarray of int64
+            Shard id per row.
+        """
         return self._router.assign(self.key_hashes(table, row_ids))
 
     # ----------------------------------------------------------- membership
@@ -99,6 +129,20 @@ class ShardPlacement:
 
         Reuses the router's side-effect-free ``remap_fraction`` analysis;
         consistent hashing keeps this near ``1/N`` per shard changed.
+
+        Parameters
+        ----------
+        other : ShardPlacement
+            The layout to compare against.
+        table : str
+            Table whose keys are sampled.
+        row_ids : numpy.ndarray of int64
+            Sample of row ids to measure over.
+
+        Returns
+        -------
+        float
+            Fraction of the sampled keys whose owner differs.
         """
         return self._router.remap_fraction(
             other._router, self.key_hashes(table, row_ids)

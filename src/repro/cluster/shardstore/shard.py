@@ -104,7 +104,23 @@ class _TableBlock:
 
     # ---------------------------------------------------------------- writes
     def publish(self, ids: np.ndarray, rows: np.ndarray, version: int) -> int:
-        """Write unique, sorted ``ids`` at ``version``; returns rows written."""
+        """Write unique, sorted ``ids`` at ``version``.
+
+        Parameters
+        ----------
+        ids : numpy.ndarray of int64
+            Row ids, unique and ascending (the store partitions and
+            dedupes before calling).
+        rows : numpy.ndarray
+            ``(len(ids), dim)`` payloads.
+        version : int
+            Version stamped on the rows and appended to the delta log.
+
+        Returns
+        -------
+        int
+            Rows written.
+        """
         slots = self._ensure_slots(ids)
         self.rows[slots] = rows
         self.row_version[slots] = version
@@ -135,7 +151,19 @@ class _TableBlock:
             self._log_ids[: self._log_len] = self._log_ids[: self._log_len][order]
 
     def drop(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Evict rows (shard rebalancing); returns ``(ids, rows, versions)``."""
+        """Evict rows for shard rebalancing.
+
+        Parameters
+        ----------
+        ids : numpy.ndarray of int64
+            Candidate ids; absent ones are ignored.
+
+        Returns
+        -------
+        ids, rows, versions : numpy.ndarray
+            The evicted ids with their payloads and row versions, ready
+            for :meth:`ingest` on the new owner (delta semantics intact).
+        """
         ids = np.asarray(ids, dtype=np.int64)
         slots = self.slots.lookup(ids)
         present = slots >= 0
@@ -172,7 +200,21 @@ class _TableBlock:
 
     # ----------------------------------------------------------------- reads
     def changed_ids(self, since_version: int) -> np.ndarray:
-        """Unique ids with entries newer than ``since``; O(changed)."""
+        """Unique ids with log entries newer than ``since_version``.
+
+        O(changed rows): one ``searchsorted`` into the version-sorted log
+        plus a slice — never a scan of the resident table.
+
+        Parameters
+        ----------
+        since_version : int
+            Exclusive lower version bound.
+
+        Returns
+        -------
+        numpy.ndarray of int64
+            Changed ids, unique and ascending.
+        """
         start = int(
             np.searchsorted(
                 self._log_versions[: self._log_len], since_version, side="right"
@@ -188,7 +230,20 @@ class _TableBlock:
         return np.unique(tail)
 
     def delta_since(self, since_version: int) -> tuple[np.ndarray, np.ndarray]:
-        """``(ids, rows)`` for every row changed after ``since``."""
+        """Payloads for every row changed after ``since_version``.
+
+        Parameters
+        ----------
+        since_version : int
+            Exclusive lower version bound.
+
+        Returns
+        -------
+        ids : numpy.ndarray of int64
+            Changed ids, ascending.
+        rows : numpy.ndarray
+            Their current ``(len(ids), dim)`` payloads.
+        """
         ids = self.changed_ids(since_version)
         if ids.size == 0:
             return ids, np.zeros((0, self.dim))

@@ -45,13 +45,19 @@ class RebalanceReport:
 class ShardedParameterStore:
     """Versioned row store sharded by stable hash of ``(table, row_id)``.
 
-    Args:
-        num_shards: initial shard count (ids ``0..N-1``).
-        row_bytes: accounting size per row for transfer-cost models.
-        row_dim: row width, when known up front; otherwise pinned at each
-            table's first publish (no more probing rows to learn the dim).
-        virtual_nodes: ring points per shard.
-        seed: placement ring seed (must match across the fleet).
+    Parameters
+    ----------
+    num_shards : int, optional
+        Initial shard count (ids ``0..N-1``).
+    row_bytes : int, optional
+        Accounting size per row for transfer-cost models.
+    row_dim : int, optional
+        Row width, when known up front; otherwise pinned at each table's
+        first publish (no more probing rows to learn the dim).
+    virtual_nodes : int, optional
+        Ring points per shard.
+    seed : int, optional
+        Placement ring seed (must match across the fleet).
     """
 
     def __init__(
@@ -168,7 +174,22 @@ class ShardedParameterStore:
     def publish_batch(
         self, table: str, indices: np.ndarray, rows: np.ndarray
     ) -> int:
-        """Write rows under a freshly bumped version; returns that version."""
+        """Write rows under a freshly bumped version.
+
+        Parameters
+        ----------
+        table : str
+            Destination table.
+        indices : numpy.ndarray of int64
+            Row ids; duplicates resolve to the last occurrence.
+        rows : numpy.ndarray
+            ``(len(indices), dim)`` row payloads.
+
+        Returns
+        -------
+        int
+            The version this publish landed under.
+        """
         indices, rows = self._normalize_batch(indices, rows)
         self.version += 1
         self._publish_into(table, indices, rows, self.version)
@@ -197,7 +218,22 @@ class ShardedParameterStore:
     def pull_rows(
         self, table: str, indices: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Point lookups; returns ``(found_mask, rows)``, zeros for misses."""
+        """Point lookups across shards.
+
+        Parameters
+        ----------
+        table : str
+            Table to read.
+        indices : numpy.ndarray of int64
+            Row ids to fetch.
+
+        Returns
+        -------
+        found_mask : numpy.ndarray of bool
+            Which ids were resident somewhere.
+        rows : numpy.ndarray
+            ``(len(indices), dim)`` payloads; zeros where missed.
+        """
         indices = np.asarray(indices, dtype=np.int64)
         mask = np.zeros(indices.size, dtype=bool)
         out = np.zeros((indices.size, self.dim_of(table)))
@@ -220,10 +256,23 @@ class ShardedParameterStore:
     ) -> tuple[np.ndarray, np.ndarray, int]:
         """All rows of ``table`` newer than ``since_version``; O(changed).
 
-        Returns ``(indices, rows, current_version)``; the caller records the
-        returned version as its new sync point.  ``since_version`` at or
-        beyond the current version (including "in the future") yields an
-        empty delta.
+        Parameters
+        ----------
+        table : str
+            Table to slice.
+        since_version : int
+            The caller's sync point; entries at or below it are skipped.
+            A value at or beyond the current version (including "in the
+            future") yields an empty delta.
+
+        Returns
+        -------
+        indices : numpy.ndarray of int64
+            Changed row ids, ascending.
+        rows : numpy.ndarray
+            Their current payloads.
+        current_version : int
+            The store version — the caller's new sync point.
         """
         parts = [
             self.shards[sid].pull_delta(table, since_version)

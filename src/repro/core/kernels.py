@@ -38,10 +38,23 @@ _GOLDEN = 0x9E3779B97F4A7C15
 
 
 def splitmix64(values: np.ndarray, seed: int = 0) -> np.ndarray:
-    """Vectorised splitmix64 over integer arrays; returns ``uint64``.
+    """Vectorised splitmix64 avalanche hash over integer arrays.
 
     Deterministic across processes, platforms and ``PYTHONHASHSEED`` —
     the property the consistent-hash ring and feature hashing rely on.
+
+    Parameters
+    ----------
+    values : numpy.ndarray of int
+        Input ids; any integer dtype, any shape.
+    seed : int, optional
+        Stream selector; mixed in via the golden-ratio increment so
+        different seeds give independent hash families.
+
+    Returns
+    -------
+    numpy.ndarray of uint64
+        Avalanched hashes, same shape as ``values``.
     """
     values = np.asarray(values)
     offset = (seed * _GOLDEN + 1) % (1 << 64)
@@ -56,7 +69,21 @@ def splitmix64(values: np.ndarray, seed: int = 0) -> np.ndarray:
 
 
 def hash_combine(a: np.ndarray, b: np.ndarray, seed: int = 0) -> np.ndarray:
-    """Stable hash of an ``(a, b)`` pair of integer arrays (broadcastable)."""
+    """Stable hash of an ``(a, b)`` pair of integer arrays.
+
+    Parameters
+    ----------
+    a, b : numpy.ndarray of int
+        Pair components; broadcast against each other.
+    seed : int, optional
+        Hash-family selector, as in :func:`splitmix64`.
+
+    Returns
+    -------
+    numpy.ndarray of uint64
+        One stable hash per broadcast pair; permuting the pair or shifting
+        either component yields unrelated values.
+    """
     with np.errstate(over="ignore"):
         mixed = splitmix64(a, seed) ^ (
             np.asarray(b).astype(np.uint64) * np.uint64(_GOLDEN)
@@ -88,9 +115,20 @@ def stable_str_hash(text: str, seed: int = 0) -> int:
 def sorted_find(keys: np.ndarray, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Batch membership in a sorted key array.
 
-    Returns ``(found, pos)`` where ``found[j]`` says whether
-    ``queries[j]`` is in ``keys`` and ``pos[j]`` is its index there
-    (0 — an arbitrary safe index — where not found).
+    Parameters
+    ----------
+    keys : numpy.ndarray
+        Sorted, unique key array to probe.
+    queries : numpy.ndarray
+        Values to look up; any shape.
+
+    Returns
+    -------
+    found : numpy.ndarray of bool
+        Whether each query is present in ``keys``.
+    pos : numpy.ndarray of int64
+        Index of each found query in ``keys``; an arbitrary *safe* index
+        (0) where not found, so gathers never fault.
     """
     if keys.size == 0 or queries.size == 0:
         return (
@@ -117,6 +155,14 @@ class IdSlotTable:
     reproduces the allocation order of the former dict/free-list
     implementation: a fresh table hands out slots ``0, 1, 2, ...`` and
     released slots are reused most-recently-freed first.
+
+    Parameters
+    ----------
+    capacity : int
+        Maximum simultaneous id -> slot mappings (the slot budget).
+    universe : int, optional
+        Id space bound enabling the dense direct-address lane; ``None``
+        keeps the purely sorted representation for unbounded ids.
     """
 
     def __init__(self, capacity: int, universe: int | None = None) -> None:
@@ -200,7 +246,19 @@ class IdSlotTable:
 
     # --------------------------------------------------------------- lookup
     def lookup(self, ids: np.ndarray) -> np.ndarray:
-        """Slot per id; ``-1`` where the id is not in the table."""
+        """Translate ids to slots.
+
+        Parameters
+        ----------
+        ids : numpy.ndarray of int64
+            Ids to translate; any shape.
+
+        Returns
+        -------
+        numpy.ndarray of int64
+            Slot per id, ``-1`` where the id is not in the table (or
+            outside the dense lane's universe).
+        """
         ids = np.asarray(ids, dtype=np.int64)
         if self._dense is not None:
             out = np.full(ids.shape, -1, dtype=np.int64)
@@ -234,10 +292,20 @@ class IdSlotTable:
     def insert(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Batch activate: give every id a slot, first come first served.
 
-        Returns ``(slots, new_slots)`` where ``slots`` aligns with
-        ``ids`` (``-1`` when the table ran out of capacity) and
-        ``new_slots`` lists the slots granted to previously-absent ids
-        (callers typically need to zero the backing rows).
+        Parameters
+        ----------
+        ids : numpy.ndarray of int64
+            Ids to activate; duplicates resolve to one slot, granted at
+            the first occurrence.
+
+        Returns
+        -------
+        slots : numpy.ndarray of int64
+            Slot per id, aligned with ``ids``; ``-1`` when the table ran
+            out of capacity.
+        new_slots : numpy.ndarray of int64
+            Slots granted to previously-absent ids, in grant order —
+            callers typically need to zero the backing rows.
         """
         ids = np.asarray(ids, dtype=np.int64)
         slots = self.lookup(ids)
@@ -263,7 +331,19 @@ class IdSlotTable:
         return self.lookup(ids), new_slots
 
     def remove(self, ids: np.ndarray) -> np.ndarray:
-        """Batch deactivate; returns the slots that were released."""
+        """Batch deactivate ids.
+
+        Parameters
+        ----------
+        ids : numpy.ndarray of int64
+            Ids to drop; absent ids are ignored.
+
+        Returns
+        -------
+        numpy.ndarray of int64
+            The released slots (pushed back onto the free stack,
+            most-recently-freed reused first).
+        """
         ids = np.unique(np.asarray(ids, dtype=np.int64))
         if ids.size == 0 or self._keys.size == 0:
             return np.empty(0, dtype=np.int64)

@@ -27,6 +27,12 @@ class ZipfSampler:
         rng: generator for both the permutation and sampling.
         permute: set ``False`` to keep id ``i`` at rank ``i + 1``
             (useful in tests).
+        method: ``"cdf"`` (default) draws by binary search over the rank
+            CDF — one uniform per sample, the historical draw sequence.
+            ``"alias"`` draws in O(1) via Walker/Vose tables — identical
+            distribution, different stream for the same seed, and an order
+            of magnitude faster at production row counts (the serving
+            engine's choice).
     """
 
     def __init__(
@@ -35,13 +41,17 @@ class ZipfSampler:
         exponent: float = 1.1,
         rng: np.random.Generator | None = None,
         permute: bool = True,
+        method: str = "cdf",
     ) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
         if exponent <= 0:
             raise ValueError("exponent must be positive")
+        if method not in ("cdf", "alias"):
+            raise ValueError(f"unknown sampling method {method!r}")
         self.size = size
         self.exponent = exponent
+        self.method = method
         self._rng = rng or np.random.default_rng(0)
         weights = np.arange(1, size + 1, dtype=np.float64) ** -exponent
         self._probs = weights / weights.sum()
@@ -49,12 +59,41 @@ class ZipfSampler:
         self._rank_to_id = (
             self._rng.permutation(size) if permute else np.arange(size)
         )
+        self._alias: np.ndarray | None = None
+        self._accept: np.ndarray | None = None
+
+    def _build_alias(self) -> None:
+        """Walker/Vose alias tables: O(size) once, then O(1) per draw.
+
+        Replaces the binary search over a ``size``-entry CDF — the cost
+        that made stream generation rival the serving-window simulation
+        itself at production row counts.
+        """
+        n = self.size
+        accept = self._probs * n
+        alias = np.arange(n, dtype=np.int64)
+        small = [i for i in range(n) if accept[i] < 1.0]
+        large = [i for i in range(n) if accept[i] >= 1.0]
+        while small and large:
+            s, l = small.pop(), large.pop()
+            alias[s] = l
+            accept[l] -= 1.0 - accept[s]
+            (small if accept[l] < 1.0 else large).append(l)
+        self._alias = alias
+        self._accept = accept
 
     def sample(self, n: int) -> np.ndarray:
-        """Draw ``n`` ids (int64)."""
-        u = self._rng.random(n)
-        ranks = np.searchsorted(self._cdf, u, side="left")
-        return self._rank_to_id[np.clip(ranks, 0, self.size - 1)]
+        """Draw ``n`` ids (int64) under the configured method."""
+        if self.method == "cdf":
+            u = self._rng.random(n)
+            ranks = np.searchsorted(self._cdf, u, side="left")
+            return self._rank_to_id[np.clip(ranks, 0, self.size - 1)]
+        if self._alias is None:
+            self._build_alias()
+        ranks = self._rng.integers(0, self.size, size=n)
+        reject = self._rng.random(n) >= self._accept[ranks]
+        ranks[reject] = self._alias[ranks[reject]]
+        return self._rank_to_id[ranks]
 
     def probability_of_id(self, ids: np.ndarray) -> np.ndarray:
         """Access probability of specific ids."""

@@ -16,9 +16,15 @@ from dataclasses import dataclass
 
 from ..data.stream import InferenceLogBuffer
 from ..core.trainer import LoRATrainer, TrainerConfig
+from ..serving.engine import WindowResult
 from .accuracy import AccuracyConfig, build_pretrained_world
 
-__all__ = ["MemoryFootprint", "measure_memory_footprints"]
+__all__ = [
+    "MemoryFootprint",
+    "measure_memory_footprints",
+    "BandwidthPressure",
+    "bandwidth_pressure",
+]
 
 
 @dataclass
@@ -36,6 +42,42 @@ class MemoryFootprint:
     def savings_vs(self, other: "MemoryFootprint") -> float:
         """Fractional reduction relative to another configuration."""
         return 1.0 - self.adapter_bytes / other.adapter_bytes
+
+
+@dataclass
+class BandwidthPressure:
+    """Fig. 10's DRAM-pressure view of one serving-window configuration."""
+
+    label: str
+    traffic_gbps: float
+    utilization: float
+    p99_ms: float
+
+    @classmethod
+    def from_window(cls, label: str, result: WindowResult) -> "BandwidthPressure":
+        return cls(
+            label=label,
+            traffic_gbps=result.memory_traffic_gbps,
+            utilization=result.memory_utilization,
+            p99_ms=result.p99_ms,
+        )
+
+
+def bandwidth_pressure(
+    results: dict[str, WindowResult]
+) -> list[BandwidthPressure]:
+    """Summarise serving windows for the Fig. 10 headroom argument.
+
+    The point of Fig. 10 is that inference alone leaves DRAM bandwidth
+    headroom and even naive co-location does not saturate the channels —
+    the latency damage is queueing and cache contention.  The returned
+    rows carry exactly the three observables that argument needs, in the
+    order the windows were given.
+    """
+    return [
+        BandwidthPressure.from_window(label, result)
+        for label, result in results.items()
+    ]
 
 
 def _train_trainer(

@@ -13,12 +13,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..hardware.power import CPUPowerModel, DiurnalLoadTrace, UtilizationSample
+from ..serving.engine import WindowResult
 
 __all__ = [
     "DayProfile",
     "simulate_day_profile",
     "PowerComparison",
     "power_comparison",
+    "WindowUtilization",
+    "utilization_from_windows",
 ]
 
 
@@ -85,6 +88,53 @@ class PowerComparison:
         peak_base = max(s.power_w for s in self.inference_only.samples)
         peak_co = max(s.power_w for s in self.colocated.samples)
         return (peak_co - peak_base) / peak_base
+
+
+@dataclass
+class WindowUtilization:
+    """Memory-path utilisation summarised over simulated serving windows.
+
+    The serving-window engine emits one :class:`~repro.serving.engine.
+    WindowResult` per window; this aggregates the resource-side view the
+    utilisation experiments care about — how hard the contended DRAM path
+    runs and how the tail behaves while it does.
+    """
+
+    windows: int
+    mean_memory_utilization: float
+    peak_memory_utilization: float
+    mean_traffic_gbps: float
+    worst_p99_ms: float
+    total_accesses: int
+
+    @property
+    def headroom(self) -> float:
+        """Remaining fraction of the memory path at the mean operating point."""
+        return 1.0 - self.mean_memory_utilization
+
+
+def utilization_from_windows(results: list[WindowResult]) -> WindowUtilization:
+    """Fold serving-window results into one utilisation summary.
+
+    Used by the Fig. 18 bench to report the DRAM-side cost of harvesting
+    idle cycles, and by :func:`repro.experiments.memory.bandwidth_pressure`
+    for the Fig. 10 headroom argument.
+    """
+    if not results:
+        raise ValueError("need at least one window result")
+    utils = np.array([r.memory_utilization for r in results])
+    return WindowUtilization(
+        windows=len(results),
+        mean_memory_utilization=float(utils.mean()),
+        peak_memory_utilization=float(utils.max()),
+        mean_traffic_gbps=float(
+            np.mean([r.memory_traffic_gbps for r in results])
+        ),
+        worst_p99_ms=float(max(r.p99_ms for r in results)),
+        total_accesses=sum(
+            r.inference_accesses + r.training_accesses for r in results
+        ),
+    )
 
 
 def power_comparison(

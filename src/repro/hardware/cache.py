@@ -39,6 +39,19 @@ class CacheStats:
     def merge(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(self.hits + other.hits, self.misses + other.misses)
 
+    @classmethod
+    def from_mask(cls, hit_mask: np.ndarray) -> "CacheStats":
+        """Aggregate view of a per-access hit mask."""
+        hits = int(np.asarray(hit_mask).sum())
+        return cls(hits=hits, misses=int(np.asarray(hit_mask).size) - hits)
+
+    def record(self, hit_mask: np.ndarray) -> "CacheStats":
+        """Fold a per-access hit mask into this accumulator; returns self."""
+        hits = int(np.asarray(hit_mask).sum())
+        self.hits += hits
+        self.misses += int(np.asarray(hit_mask).size) - hits
+        return self
+
 
 class LRUCache:
     """Byte-capacity LRU cache keyed by arbitrary hashables.
@@ -82,15 +95,22 @@ class LRUCache:
 
     def access_many(
         self, keys: np.ndarray, size_bytes: int, stats: CacheStats | None = None
-    ) -> CacheStats:
-        """Touch a sequence of same-sized keys, accumulating stats."""
-        stats = stats or CacheStats()
-        for k in keys:
-            if self.access(int(k), size_bytes):
-                stats.hits += 1
-            else:
-                stats.misses += 1
-        return stats
+    ) -> np.ndarray:
+        """Touch a sequence of same-sized keys; returns the per-key hit mask.
+
+        Callers used to re-probe with ``__contains__`` to learn which keys
+        hit; the mask makes that information first-class.  The old
+        aggregate view stays available: pass a :class:`CacheStats`
+        accumulator (updated in place) or fold the mask through
+        :meth:`CacheStats.from_mask`.
+        """
+        keys = np.asarray(keys)
+        hit_mask = np.empty(keys.shape[0], dtype=bool)
+        for j, k in enumerate(keys):
+            hit_mask[j] = self.access(int(k), size_bytes)
+        if stats is not None:
+            stats.record(hit_mask)
+        return hit_mask
 
     def invalidate(self, key: object) -> bool:
         """Drop one entry if present (write-invalidate from another agent)."""
@@ -105,6 +125,11 @@ class LRUCache:
         self._used = 0
 
 
+def _hit_mask(result) -> np.ndarray:
+    """Normalise ``access_many`` return values (mask or batch result)."""
+    return getattr(result, "hit_mask", result)
+
+
 def simulate_interleaved(
     cache_a: LRUCache,
     cache_b: LRUCache | None,
@@ -115,7 +140,7 @@ def simulate_interleaved(
     burst_a: int = 1024,
     burst_b: int = 4096,
 ) -> tuple[CacheStats, CacheStats]:
-    """Interleave two access streams over one or two caches.
+    """Interleave two access streams over one or two caches, batched.
 
     When ``cache_b`` is ``None`` both streams share ``cache_a`` (the
     un-isolated co-location case); stream B's keys are offset so the two
@@ -126,25 +151,34 @@ def simulate_interleaved(
     trainer runs whole mini-batch fwd/bwd passes, so cache occupancy swings
     at batch granularity — exactly the thrashing pattern that collapses hit
     rates when the two share an L3.
+
+    The burst interleave is materialised as one merged key array and played
+    through ``access_many`` in a single pass (two passes when the caches
+    are separate — disjoint caches cannot interact, so each consumes its
+    own stream whole).  Works with any cache exposing ``access_many``:
+    the scalar :class:`LRUCache` or the batched
+    :class:`~repro.hardware.vectorcache.BatchLRUCache`.
     """
-    stats_a, stats_b = CacheStats(), CacheStats()
+    stream_a = np.asarray(stream_a, dtype=np.int64)
+    stream_b = np.asarray(stream_b, dtype=np.int64)
     shared = cache_b is None
-    target_b = cache_a if shared else cache_b
-    ia = ib = 0
-    while ia < len(stream_a) or ib < len(stream_b):
-        end_a = min(ia + burst_a, len(stream_a))
-        for k in stream_a[ia:end_a]:
-            if cache_a.access(int(k), row_bytes):
-                stats_a.hits += 1
-            else:
-                stats_a.misses += 1
-        ia = end_a
-        end_b = min(ib + burst_b, len(stream_b))
-        for k in stream_b[ib:end_b]:
-            key = int(k) + (key_offset_b if shared else 0)
-            if target_b.access(key, row_bytes):
-                stats_b.hits += 1
-            else:
-                stats_b.misses += 1
-        ib = end_b
-    return stats_a, stats_b
+    if not shared:
+        mask_a = _hit_mask(cache_a.access_many(stream_a, row_bytes))
+        mask_b = _hit_mask(cache_b.access_many(stream_b, row_bytes))
+        return CacheStats.from_mask(mask_a), CacheStats.from_mask(mask_b)
+    keys = np.concatenate([stream_a, stream_b + key_offset_b])
+    burst = np.concatenate(
+        [
+            np.arange(stream_a.size, dtype=np.int64) // max(burst_a, 1),
+            np.arange(stream_b.size, dtype=np.int64) // max(burst_b, 1),
+        ]
+    )
+    is_b = np.zeros(keys.size, dtype=bool)
+    is_b[stream_a.size :] = True
+    order = np.lexsort((is_b, burst))  # stable: A's burst before B's
+    mask = _hit_mask(cache_a.access_many(keys[order], row_bytes))
+    ordered_is_b = is_b[order]
+    return (
+        CacheStats.from_mask(mask[~ordered_is_b]),
+        CacheStats.from_mask(mask[ordered_is_b]),
+    )

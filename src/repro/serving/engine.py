@@ -23,12 +23,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.zipf import ZipfSampler
-from ..hardware.cache import CacheStats, LRUCache, simulate_interleaved
+from ..hardware.cache import CacheStats
 from ..hardware.latency import InferenceLatencyModel, percentile
 from ..hardware.memory import MemoryBandwidthModel, MemoryTraffic
 from ..hardware.numa import AdaptiveNumaPartitioner
-from ..hardware.reuse import ShadowEmbeddingBuffer
+from ..hardware.reuse import BatchedShadowReuse
 from ..hardware.topology import EPYC_9684X_DUAL, NodeTopology
+from ..hardware.vectorcache import BatchLRUCache, IntervalCache
 
 __all__ = ["NodeSimConfig", "WindowResult", "ColocatedNodeSimulator"]
 
@@ -57,6 +58,12 @@ class NodeSimConfig:
             DRAM accesses lands on the remote socket.
         trainer_write_fraction: fraction of trainer traffic that is writes.
         reuse_capacity_rows: shadow-buffer capacity when reuse is enabled.
+        cache_policy: L3 model backing the window simulation.
+            ``"interval"`` (default) is the CLOCK-style coarse-recency
+            approximation — fully vectorized, hits are a conservative
+            subset of LRU's, eviction counts unavailable; ``"lru"`` is the
+            exact batched LRU (``BatchLRUCache``), bit-equal to the seed
+            per-key simulation and the mode that reports eviction churn.
         seed: RNG seed.
     """
 
@@ -78,12 +85,20 @@ class NodeSimConfig:
     training_lookups_per_sample: int = 320
     trainer_write_fraction: float = 0.5
     reuse_capacity_rows: int = 40_000
+    cache_policy: str = "interval"
     seed: int = 0
 
 
 @dataclass
 class WindowResult:
-    """Metrics of one simulated serving window."""
+    """Metrics of one simulated serving window.
+
+    The access/eviction counters were added with the batched cache engine:
+    ``inference_accesses`` / ``training_accesses`` count simulated cache
+    touches per stream, and ``cache_evictions`` counts L3 lines displaced
+    across the window's caches — the churn observable the freshness and
+    memory experiments consume.
+    """
 
     config_name: str
     inference_hit_ratio: float
@@ -93,6 +108,9 @@ class WindowResult:
     memory_utilization: float
     p50_ms: float
     p99_ms: float
+    inference_accesses: int = 0
+    training_accesses: int = 0
+    cache_evictions: int = 0
 
 
 class ColocatedNodeSimulator:
@@ -108,10 +126,16 @@ class ColocatedNodeSimulator:
         cfg = self.config
         self._rng = np.random.default_rng(cfg.seed)
         self._inference_sampler = ZipfSampler(
-            cfg.num_rows, cfg.inference_zipf, rng=np.random.default_rng(cfg.seed + 1)
+            cfg.num_rows,
+            cfg.inference_zipf,
+            rng=np.random.default_rng(cfg.seed + 1),
+            method="alias",
         )
         self._training_sampler = ZipfSampler(
-            cfg.num_rows, cfg.training_zipf, rng=np.random.default_rng(cfg.seed + 2)
+            cfg.num_rows,
+            cfg.training_zipf,
+            rng=np.random.default_rng(cfg.seed + 2),
+            method="alias",
         )
         self.memory = MemoryBandwidthModel(peak_gbps=cfg.serving_bandwidth_gbps)
         self.latency = InferenceLatencyModel(
@@ -122,6 +146,17 @@ class ColocatedNodeSimulator:
         )
 
     # ------------------------------------------------------------- plumbing
+    def _make_cache(
+        self, capacity_bytes: int, universe: int
+    ) -> BatchLRUCache | IntervalCache:
+        """One L3 slice under the configured cache policy."""
+        policy = self.config.cache_policy
+        if policy == "lru":
+            return BatchLRUCache(capacity_bytes, universe=universe)
+        if policy == "interval":
+            return IntervalCache(capacity_bytes, universe=universe)
+        raise ValueError(f"unknown cache_policy {policy!r}")
+
     def _partition_l3(
         self, inference_ccds: int, training_ccds: int
     ) -> tuple[int, int]:
@@ -176,6 +211,7 @@ class ColocatedNodeSimulator:
         reuse_ratio: float = 0.0,
         remote_fraction: float = 0.0,
         num_requests: int = 20_000,
+        evictions: int = 0,
     ) -> WindowResult:
         inf_hit = inf_stats.hit_ratio
         train_hit = train_stats.hit_ratio if train_stats else 0.0
@@ -192,6 +228,9 @@ class ColocatedNodeSimulator:
             memory_utilization=self.memory.utilization(traffic),
             p50_ms=percentile(samples, 50),
             p99_ms=percentile(samples, 99),
+            inference_accesses=inf_stats.accesses,
+            training_accesses=train_stats.accesses if train_stats else 0,
+            cache_evictions=evictions,
         )
 
     # ------------------------------------------------------------ simulation
@@ -205,30 +244,39 @@ class ColocatedNodeSimulator:
         training_ccds: int,
         remote_fraction: float = 0.0,
     ) -> WindowResult:
-        """Burst-interleaved cache simulation of one serving window."""
+        """Batched cache simulation of one serving window.
+
+        The whole window runs as gather/scatter passes over
+        :class:`~repro.hardware.vectorcache.BatchLRUCache` — one
+        ``access_many`` per cache — instead of a Python loop per key.
+        Partitioned caches never interact, so each consumes its own stream
+        whole; only the shadow buffer couples the trainer to inference
+        *time*, which :class:`~repro.hardware.reuse.BatchedShadowReuse`
+        answers per trainer burst against the known publish prefix.
+
+        Key spaces mirror the seed's offset scheme bijectively: without
+        reuse the trainer copies looked-up rows into its own training
+        arena, so even reads of the "same" embedding land on different
+        cache lines than the server's — hence trainer reads/writes occupy
+        disjoint id ranges (``[0, R)`` / ``[R, 2R)``) of the trainer
+        cache's dense universe.
+        """
         cfg = self.config
+        num_rows = cfg.num_rows
         if shared_cache:
             l3_total, _ = self._partition_l3(inference_ccds + training_ccds, 0)
-            cache_inf = LRUCache(l3_total)
+            cache_inf = self._make_cache(l3_total, 3 * num_rows)
             cache_train = cache_inf
         else:
             l3_inf, l3_train = self._partition_l3(inference_ccds, training_ccds)
-            cache_inf = LRUCache(l3_inf)
-            cache_train = LRUCache(max(l3_train, 1))
+            cache_inf = self._make_cache(l3_inf, num_rows)
+            cache_train = self._make_cache(max(l3_train, 1), 2 * num_rows)
         inf, reads, writes = self._streams()
-        shadow = (
-            ShadowEmbeddingBuffer(cfg.reuse_capacity_rows) if reuse else None
-        )
         # Warm the serving cache to steady state: production servers have
         # been running for hours, so first-touch cold misses are not part
         # of the measured window.
         warm = self._inference_sampler.sample(cfg.accesses_per_window)
-        for key in warm:
-            cache_inf.access(int(key), cfg.row_bytes)
-            if shadow is not None:
-                shadow.publish(0, np.array([key]), np.zeros((1, 1)))
-        inf_stats, train_stats = CacheStats(), CacheStats()
-        absorbed = 0
+        cache_inf.access_many(warm, cfg.row_bytes)
         if shared_cache and training_on:
             # Naive co-location: trainer threads run *concurrently* with the
             # server on neighbouring cores, so accesses interleave at cache
@@ -237,47 +285,54 @@ class ColocatedNodeSimulator:
             return self._run_shared_fine(
                 name, cache_inf, inf, reads, writes, remote_fraction
             )
-        burst = cfg.inference_burst
-        num_bursts = max(1, (len(inf) + burst - 1) // burst)
-        # One trainer step is much longer than one served batch: it fires
-        # every ``trainer_burst_every`` inference bursts and touches its
-        # whole mini-batch footprint at once.
-        num_trainer_bursts = max(1, num_bursts // cfg.trainer_burst_every)
-        read_chunk = (len(reads) + num_trainer_bursts - 1) // num_trainer_bursts
-        write_chunk = (len(writes) + num_trainer_bursts - 1) // num_trainer_bursts
-        # Without reuse the trainer copies looked-up rows into its own
-        # training arena, so even reads of the "same" embedding land on
-        # different cache lines than the server's — hence the offsets.
-        # Only the shadow buffer makes trainer reads alias server-warm lines.
-        read_offset = 1 << 41
-        write_offset = 1 << 40
-        dummy_row = np.zeros((1, 1))
-        trainer_step = 0
-        for b in range(num_bursts):
-            for key in inf[b * burst : (b + 1) * burst]:
-                if cache_inf.access(int(key), cfg.row_bytes):
-                    inf_stats.hits += 1
-                else:
-                    inf_stats.misses += 1
-                if shadow is not None:
-                    shadow.publish(0, np.array([key]), dummy_row)
-            if not training_on or (b + 1) % cfg.trainer_burst_every:
-                continue
-            t = trainer_step
-            trainer_step += 1
-            for key in reads[t * read_chunk : (t + 1) * read_chunk]:
-                if shadow is not None and shadow.lookup(0, int(key)) is not None:
-                    absorbed += 1
-                    train_stats.hits += 1
-                elif cache_train.access(int(key) + read_offset, cfg.row_bytes):
-                    train_stats.hits += 1
-                else:
-                    train_stats.misses += 1
-            for key in writes[t * write_chunk : (t + 1) * write_chunk]:
-                if cache_train.access(int(key) + write_offset, cfg.row_bytes):
-                    train_stats.hits += 1
-                else:
-                    train_stats.misses += 1
+        inf_stats, train_stats = CacheStats(), CacheStats()
+        evictions = cache_inf.access_many(
+            inf, cfg.row_bytes, stats=inf_stats
+        ).num_evictions
+        absorbed = 0
+        if training_on:
+            burst = cfg.inference_burst
+            num_bursts = max(1, (len(inf) + burst - 1) // burst)
+            # One trainer step is much longer than one served batch: it
+            # fires every ``trainer_burst_every`` inference bursts and
+            # touches its whole mini-batch footprint at once.
+            num_trainer_bursts = max(1, num_bursts // cfg.trainer_burst_every)
+            read_chunk = (
+                len(reads) + num_trainer_bursts - 1
+            ) // num_trainer_bursts
+            write_chunk = (
+                len(writes) + num_trainer_bursts - 1
+            ) // num_trainer_bursts
+            fired = num_bursts // cfg.trainer_burst_every
+            shadow = (
+                BatchedShadowReuse(
+                    np.concatenate([warm, inf]), cfg.reuse_capacity_rows
+                )
+                if reuse
+                else None
+            )
+            pieces: list[np.ndarray] = []
+            for t in range(fired):
+                step_reads = reads[t * read_chunk : (t + 1) * read_chunk]
+                if shadow is not None and step_reads.size:
+                    # Shadow state as of the inference burst this trainer
+                    # step follows: warm plus every burst published so far.
+                    prefix = warm.size + min(
+                        inf.size, (t + 1) * cfg.trainer_burst_every * burst
+                    )
+                    mask = shadow.absorbed(prefix, step_reads)
+                    hits = int(mask.sum())
+                    absorbed += hits
+                    train_stats.hits += hits  # reused rows are pinned: hits
+                    step_reads = step_reads[~mask]
+                pieces.append(step_reads)
+                pieces.append(
+                    writes[t * write_chunk : (t + 1) * write_chunk] + num_rows
+                )
+            if pieces:
+                evictions += cache_train.access_many(
+                    np.concatenate(pieces), cfg.row_bytes, stats=train_stats
+                ).num_evictions
         n_train = len(reads) + len(writes)
         reuse_ratio = absorbed / n_train if (reuse and n_train) else 0.0
         return self._result(
@@ -287,54 +342,72 @@ class ColocatedNodeSimulator:
             training_on=training_on,
             reuse_ratio=reuse_ratio,
             remote_fraction=remote_fraction,
+            evictions=evictions,
         )
 
     def _run_shared_fine(
         self,
         name: str,
-        cache: LRUCache,
+        cache: BatchLRUCache | IntervalCache,
         inf: np.ndarray,
         reads: np.ndarray,
         writes: np.ndarray,
         remote_fraction: float,
     ) -> WindowResult:
-        """Per-access interleave of server and trainer over one shared L3."""
+        """Per-access interleave of server and trainer over one shared L3.
+
+        The seed walked the three streams with fractional float
+        accumulators; the batched version materialises the *exact-rational*
+        emission schedule those accumulators approximate — read ``r`` lands
+        right after inference access ``ceil((r+1)/rate) - 1`` — so interior
+        positions can differ from the seed by one slot where its float
+        error crossed an emission boundary (statistically identical, not
+        bit-equal).  The merged window then plays through the shared cache
+        in a single ``access_many`` pass.
+        """
         cfg = self.config
+        num_rows = cfg.num_rows
+        n_inf, n_r, n_w = len(inf), len(reads), len(writes)
         inf_stats, train_stats = CacheStats(), CacheStats()
-        read_offset = 1 << 41
-        write_offset = 1 << 40
-        n_inf = len(inf)
-        ir = iw = 0
-        reads_per_step = len(reads) / max(n_inf, 1)
-        writes_per_step = len(writes) / max(n_inf, 1)
-        racc = wacc = 0.0
-        for i in range(n_inf):
-            if cache.access(int(inf[i]), cfg.row_bytes):
-                inf_stats.hits += 1
-            else:
-                inf_stats.misses += 1
-            racc += reads_per_step
-            while racc >= 1.0 and ir < len(reads):
-                if cache.access(int(reads[ir]) + read_offset, cfg.row_bytes):
-                    train_stats.hits += 1
-                else:
-                    train_stats.misses += 1
-                ir += 1
-                racc -= 1.0
-            wacc += writes_per_step
-            while wacc >= 1.0 and iw < len(writes):
-                if cache.access(int(writes[iw]) + write_offset, cfg.row_bytes):
-                    train_stats.hits += 1
-                else:
-                    train_stats.misses += 1
-                iw += 1
-                wacc -= 1.0
+        evictions = 0
+        if n_inf:
+            # Emission schedule in closed form (no sort): within a step the
+            # order is inference access, then its reads, then its writes,
+            # so every access's output slot is its own index plus the
+            # counts of the other two streams emitted before it.
+            i_idx = np.arange(n_inf, dtype=np.int64)
+            r_idx = np.arange(n_r, dtype=np.int64)
+            w_idx = np.arange(n_w, dtype=np.int64)
+            # Step after which read r / write w is emitted.
+            step_r = ((r_idx + 1) * n_inf + n_r - 1) // max(n_r, 1) - 1
+            step_w = ((w_idx + 1) * n_inf + n_w - 1) // max(n_w, 1) - 1
+            pos_inf = i_idx + (i_idx * n_r) // n_inf + (i_idx * n_w) // n_inf
+            pos_r = (step_r + 1) + r_idx + (step_r * n_w) // n_inf
+            pos_w = (step_w + 1) + ((step_w + 1) * n_r) // n_inf + w_idx
+            total = n_inf + n_r + n_w
+            merged = np.empty(total, dtype=np.int64)
+            merged[pos_inf] = inf
+            merged[pos_r] = reads + num_rows
+            merged[pos_w] = writes + 2 * num_rows
+            is_inf = np.zeros(total, dtype=bool)
+            is_inf[pos_inf] = True
+            result = cache.access_many(merged, cfg.row_bytes)
+            evictions = result.num_evictions
+            inf_mask = result.hit_mask[is_inf]
+            train_mask = result.hit_mask[~is_inf]
+            inf_stats = CacheStats(
+                int(inf_mask.sum()), int(inf_mask.size - inf_mask.sum())
+            )
+            train_stats = CacheStats(
+                int(train_mask.sum()), int(train_mask.size - train_mask.sum())
+            )
         return self._result(
             name,
             inf_stats,
             train_stats,
             training_on=True,
             remote_fraction=remote_fraction,
+            evictions=evictions,
         )
 
     # --------------------------------------------------------------- configs

@@ -1,0 +1,52 @@
+"""Documentation cannot rot: doctest the docs, import the examples.
+
+Mirrors the CI ``docs`` job locally so a stale code block in ``README.md``
+or ``docs/*.md`` (or an example that no longer imports) fails tier-1, not
+just the separate workflow.
+"""
+
+import doctest
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+DOC_FILES = [
+    REPO / "README.md",
+    REPO / "docs" / "architecture.md",
+    REPO / "docs" / "benchmarks.md",
+]
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_code_blocks_execute(path):
+    assert path.exists(), f"missing documentation file {path}"
+    result = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert result.attempted > 0, f"{path.name} has no executable examples"
+    assert result.failed == 0
+
+
+@pytest.mark.parametrize(
+    "path",
+    sorted((REPO / "examples").glob("*.py")),
+    ids=lambda p: p.name,
+)
+def test_examples_import(path):
+    """Module-level code of every example must execute cleanly."""
+    name = f"_example_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    assert hasattr(module, "main"), f"{path.name} should expose main()"

@@ -102,3 +102,60 @@ class TestScalability:
         assert min(p.sync_seconds for p in projected) >= max(
             p.sync_seconds for p in measured
         ) * 0.9
+
+
+class TestWindowResultConsumers:
+    """The serving-window metrics feed the experiment layer directly."""
+
+    @pytest.fixture(scope="class")
+    def windows(self):
+        from repro.serving.engine import ColocatedNodeSimulator, NodeSimConfig
+
+        sim = ColocatedNodeSimulator(
+            NodeSimConfig(
+                num_rows=20_000,
+                accesses_per_window=10_000,
+                training_ratio=4.0,
+                l3_bytes_per_ccd=int(0.025 * 1024 ** 2),
+                seed=0,
+            )
+        )
+        return {
+            "inference only": sim.run_inference_only(),
+            "co-located (naive)": sim.run_colocated_naive(),
+        }
+
+    def test_utilization_from_windows(self, windows):
+        from repro.experiments.utilization import utilization_from_windows
+
+        summary = utilization_from_windows(list(windows.values()))
+        assert summary.windows == 2
+        assert 0.0 < summary.mean_memory_utilization <= summary.peak_memory_utilization <= 1.5
+        assert summary.worst_p99_ms > 0
+        assert summary.total_accesses > 0
+        assert summary.headroom == pytest.approx(
+            1.0 - summary.mean_memory_utilization
+        )
+
+    def test_utilization_from_windows_rejects_empty(self):
+        from repro.experiments.utilization import utilization_from_windows
+
+        with pytest.raises(ValueError):
+            utilization_from_windows([])
+
+    def test_bandwidth_pressure_rows(self, windows):
+        from repro.experiments.memory import bandwidth_pressure
+
+        rows = bandwidth_pressure(windows)
+        assert [r.label for r in rows] == list(windows)
+        naive = rows[1]
+        assert naive.traffic_gbps > rows[0].traffic_gbps
+        assert naive.p99_ms > rows[0].p99_ms
+
+    def test_cache_churn_profile(self):
+        from repro.experiments.freshness import cache_churn_profile
+
+        points = cache_churn_profile(windows=2)
+        assert len(points) == 2
+        assert all(p.evictions_per_access > 0 for p in points)
+        assert all(0 <= p.inference_hit_ratio <= 1 for p in points)
