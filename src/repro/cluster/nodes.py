@@ -98,13 +98,15 @@ class TrainingCluster:
 
         All tables are staged on the client and flushed as one publish
         event: one version bump per window however many tables changed.
+        The touched set drains straight from each table's epoch-stamp lane
+        (:class:`repro.core.kernels.TouchedRows`) — one vectorized scan per
+        table, no per-id bookkeeping.
         """
         for f, table in enumerate(self.model.embeddings):
-            touched = table.touched_rows()
+            touched = table.drain_touched()
             if touched.size == 0:
                 continue
             self.client.stage(f"table_{f}", touched, table.weight[touched])
-            table.reset_touched()
         report = self.client.flush()
         return PushReport(
             version=report.version,

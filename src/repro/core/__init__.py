@@ -6,66 +6,97 @@ Kernel layer
 ------------
 The id-granular hot paths (LoRA slot translation, hot-index membership,
 consistent-hash routing) are built on :mod:`repro.core.kernels`: a
-process-stable :func:`~repro.core.kernels.splitmix64` hash and the
-array-native :class:`~repro.core.kernels.IdSlotTable` id -> slot map.
-Every per-batch operation above them — ``delta_rows``, ``apply_to``,
-``accumulate_grad``, ``is_hot``, ``mark``, ``route`` — is expressed as
-gather/scatter + batched matmuls over whole arrays; per-id Python loops
-only survive on cold control paths (saturated bounded-load probes).
-``benchmarks/bench_hotpath_throughput.py`` tracks the resulting ids/sec
-against per-id reference implementations.
+process-stable :func:`~repro.core.kernels.splitmix64` hash, the
+array-native :class:`~repro.core.kernels.IdSlotTable` id -> slot map,
+offset-based segment reductions (:func:`~repro.core.kernels.pool_rows`,
+:func:`~repro.core.kernels.group_rows_sum`) and the epoch-stamped
+:class:`~repro.core.kernels.TouchedRows` delta tracker.  Every per-batch
+operation above them — ``delta_rows``, ``apply_to``, ``accumulate_grad``,
+``is_hot``, ``mark``, ``route``, pooled embedding forward/backward — is
+expressed as gather/scatter + batched matmuls over whole arrays; per-id
+Python loops only survive on cold control paths (saturated bounded-load
+probes).  ``benchmarks/bench_hotpath_throughput.py`` and
+``benchmarks/bench_dlrm_train_throughput.py`` track the resulting
+ids/sec against per-id reference implementations.
+
+Lazy imports
+------------
+Submodules load on first attribute access (PEP 562) rather than at
+package import.  ``repro.core.kernels`` sits *below* the DLRM substrate
+(``repro.dlrm.embedding`` pools and stamps through it), while
+``repro.core.trainer`` and friends sit *above* it — eager package-level
+imports would turn that layering into an import cycle.
 """
 
-from .drift import AdaptiveSyncPolicy, DriftMonitor, DriftSample
-from .hot_index import HotIndexFilter
-from .kernels import IdSlotTable, hash_combine, splitmix64
-from .liveupdate import LiveUpdate, LiveUpdateConfig
-from .lora import LoRAAdapter, LoRACollection
-from .pruning import PruneDecision, UsageTracker, dynamic_tau_from_counts
-from .rank_adaptation import (
-    RankMonitor,
-    approximation_error,
-    cumulative_variance,
-    lowrank_approximation,
-    rank_for_variance,
-)
-from .sync import (
-    SparseLoRASynchronizer,
-    SyncReport,
-    average_merge,
-    average_merge_rows,
-    priority_merge,
-    priority_merge_rows,
-)
-from .trainer import LoRATrainer, TrainerConfig, TrainerReport
+from __future__ import annotations
 
-__all__ = [
-    "splitmix64",
-    "hash_combine",
-    "IdSlotTable",
-    "LoRAAdapter",
-    "LoRACollection",
-    "cumulative_variance",
-    "rank_for_variance",
-    "lowrank_approximation",
-    "approximation_error",
-    "RankMonitor",
-    "UsageTracker",
-    "PruneDecision",
-    "dynamic_tau_from_counts",
-    "HotIndexFilter",
-    "LoRATrainer",
-    "TrainerConfig",
-    "TrainerReport",
-    "SparseLoRASynchronizer",
-    "SyncReport",
-    "priority_merge",
-    "average_merge",
-    "priority_merge_rows",
-    "average_merge_rows",
-    "DriftMonitor",
-    "DriftSample",
-    "AdaptiveSyncPolicy",
-    "LiveUpdate",
-    "LiveUpdateConfig",
-]
+import importlib
+
+# Public name -> defining submodule.  Resolved lazily on first access.
+_EXPORTS = {
+    "splitmix64": "kernels",
+    "hash_combine": "kernels",
+    "stable_str_hash": "kernels",
+    "sorted_find": "kernels",
+    "IdSlotTable": "kernels",
+    "pool_rows": "kernels",
+    "segment_pool": "kernels",
+    "group_rows_sum": "kernels",
+    "TouchedRows": "kernels",
+    "LoRAAdapter": "lora",
+    "LoRACollection": "lora",
+    "cumulative_variance": "rank_adaptation",
+    "rank_for_variance": "rank_adaptation",
+    "lowrank_approximation": "rank_adaptation",
+    "approximation_error": "rank_adaptation",
+    "RankMonitor": "rank_adaptation",
+    "UsageTracker": "pruning",
+    "PruneDecision": "pruning",
+    "dynamic_tau_from_counts": "pruning",
+    "HotIndexFilter": "hot_index",
+    "LoRATrainer": "trainer",
+    "TrainerConfig": "trainer",
+    "TrainerReport": "trainer",
+    "SparseLoRASynchronizer": "sync",
+    "SyncReport": "sync",
+    "priority_merge": "sync",
+    "average_merge": "sync",
+    "priority_merge_rows": "sync",
+    "average_merge_rows": "sync",
+    "DriftMonitor": "drift",
+    "DriftSample": "drift",
+    "AdaptiveSyncPolicy": "drift",
+    "LiveUpdate": "liveupdate",
+    "LiveUpdateConfig": "liveupdate",
+}
+
+_SUBMODULES = frozenset(
+    {
+        "drift",
+        "hot_index",
+        "kernels",
+        "liveupdate",
+        "lora",
+        "pruning",
+        "rank_adaptation",
+        "sync",
+        "trainer",
+    }
+)
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        module = importlib.import_module(f".{_EXPORTS[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value  # cache: next access skips __getattr__
+        return value
+    if name in _SUBMODULES:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__) | _SUBMODULES)

@@ -13,9 +13,17 @@ primitives everything else builds on:
   decide ring placement or slot assignment);
 * :class:`IdSlotTable` — an array-native id -> slot map (sorted key
   array + ``np.searchsorted``) with batch lookup/insert/remove, the
-  replacement for the former dict-based ``_SlotMap``.
+  replacement for the former dict-based ``_SlotMap``;
+* :func:`pool_rows` / :func:`segment_pool` — offset-based segment
+  reductions (EmbeddingBag pooling) bucketed by bag size so cost scales
+  with the id stream, not the bag count;
+* :func:`group_rows_sum` — duplicate-sparse scatter-add: per-occurrence
+  rows accumulated into unique-id rows, the backward of pooling;
+* :class:`TouchedRows` — an epoch-stamped touched-row tracker (O(batch)
+  to stamp, one vectorized scan to drain, one byte per row) replacing
+  the per-id Python ``set`` used for delta accounting.
 
-Both are deliberately dependency-free (NumPy only) so every layer —
+All are deliberately dependency-free (NumPy only) so every layer —
 ``core``, ``serving``, ``dlrm`` — can import them without cycles.
 """
 
@@ -29,6 +37,10 @@ __all__ = [
     "stable_str_hash",
     "sorted_find",
     "IdSlotTable",
+    "pool_rows",
+    "segment_pool",
+    "group_rows_sum",
+    "TouchedRows",
 ]
 
 # Multiplicative avalanche constants (splitmix64 finaliser).
@@ -360,3 +372,272 @@ class IdSlotTable:
         self._vals = self._vals[keep]
         self._push(released)
         return released
+
+
+# --------------------------------------------------------------- segment ops
+def _size_classes(sizes: np.ndarray):
+    """Group bag indices by exact bag size.
+
+    Yields ``(size, bag_positions)`` pairs where ``bag_positions`` indexes
+    the original bag order.  Empty bags (size 0) are skipped — callers
+    pre-fill their output with zeros.
+    """
+    order = np.argsort(sizes, kind="stable")
+    ssz = sizes[order]
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(ssz)) + 1))
+    ends = np.concatenate((starts[1:], [sizes.size]))
+    for lo, hi in zip(starts, ends):
+        size = int(ssz[lo])
+        if size == 0:
+            continue
+        yield size, order[lo:hi]
+
+
+def pool_rows(
+    source: np.ndarray,
+    ids: np.ndarray,
+    offsets: np.ndarray,
+    mode: str = "mean",
+) -> np.ndarray:
+    """Offset-based segment reduction: EmbeddingBag pooling in one pass.
+
+    Sample ``b`` owns the id slice ``ids[offsets[b]:offsets[b + 1]]``; its
+    output is the sum (or mean) of the corresponding ``source`` rows.
+    Bags are bucketed by exact size so each bucket reduces one dense
+    ``(bags, size, d)`` block — cost scales with ``len(ids)``, not with
+    the number of bags, and no per-bag Python loop survives.
+
+    Parameters
+    ----------
+    source : numpy.ndarray
+        ``(num_rows, d)`` table to gather from.
+    ids : numpy.ndarray of int64
+        Flat id stream for the whole batch (indices into ``source``).
+    offsets : numpy.ndarray of int64
+        ``(batch + 1,)`` bag boundaries; empty bags pool to zero.
+    mode : {"mean", "sum"}
+        Pooling reduction.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(batch, d)`` pooled rows, float64.
+    """
+    if mode not in ("mean", "sum"):
+        raise ValueError("mode must be 'mean' or 'sum'")
+    ids = np.asarray(ids, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    batch = offsets.shape[0] - 1
+    if ids.size == 0 or batch == 0:
+        return np.zeros((batch if batch > 0 else 0, source.shape[1]))
+    sizes = np.diff(offsets)
+    starts = offsets[:-1]
+    min_size = sizes.min()
+    if min_size < 0:
+        raise ValueError("offsets must be non-decreasing")
+    if min_size > 0:  # every bag written below: skip the zero fill
+        out = np.empty((batch, source.shape[1]))
+    else:
+        out = np.zeros((batch, source.shape[1]))
+    for size, bags in _size_classes(sizes):
+        bag_starts = starts[bags]
+        if size == 1:  # singleton bags: the pool is the row itself
+            out[bags] = source[ids[bag_starts]]
+            continue
+        if size <= 32:
+            # Short bags (the common DLRM shape): accumulate the k-th
+            # member of every bag per pass — flat 2-D gathers (fancy
+            # indexing already yields fresh arrays) recycle small buffers
+            # instead of materialising one (bags, size, d) block.
+            acc = source[ids[bag_starts]]
+            for k in range(1, size):
+                acc += source[ids[bag_starts + k]]
+        else:
+            # Long bags arrive in few, large classes: one dense
+            # (bags, size, d) block reduction keeps the member loop out
+            # of Python (the block is no bigger than the class's slice
+            # of the id stream).
+            idx = bag_starts[:, None] + np.arange(size)
+            acc = source[ids[idx]].sum(axis=1)
+        if mode == "mean":
+            acc /= size
+        out[bags] = acc
+    return out
+
+
+def segment_pool(
+    values: np.ndarray, offsets: np.ndarray, mode: str = "mean"
+) -> np.ndarray:
+    """Pool per-occurrence rows into per-bag rows (no gather step).
+
+    Like :func:`pool_rows` but ``values`` already holds one row per id
+    occurrence (``values[i]`` belongs to the bag owning position ``i``),
+    e.g. LoRA delta rows produced for a flat id stream.
+
+    Parameters
+    ----------
+    values : numpy.ndarray
+        ``(len(ids), d)`` per-occurrence rows.
+    offsets : numpy.ndarray of int64
+        ``(batch + 1,)`` bag boundaries.
+    mode : {"mean", "sum"}
+        Pooling reduction.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(batch, d)`` pooled rows, float64.
+    """
+    positions = np.arange(np.asarray(values).shape[0], dtype=np.int64)
+    return pool_rows(np.asarray(values, dtype=np.float64), positions, offsets, mode)
+
+
+def group_rows_sum(
+    ids: np.ndarray, rows: np.ndarray, num_rows: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Accumulate per-occurrence rows into unique-id rows (scatter-add).
+
+    The backward of pooling: every occurrence of id ``u`` contributes its
+    row to ``u``'s gradient.  With a known universe (embedding tables know
+    their row count) the unique set, the id -> slot map and the per-slot
+    accumulation are all counting passes — one ``bincount`` per dimension
+    over compact slots, no sort at all.  Without one, ids that occur once
+    are copied with one vectorized scatter and only duplicated ids pay a
+    sort + segment reduction.
+
+    Parameters
+    ----------
+    ids : numpy.ndarray of int64
+        Flat id stream; duplicates allowed, any order.
+    rows : numpy.ndarray
+        ``(len(ids), d)`` per-occurrence rows.
+    num_rows : int, optional
+        Id-universe bound enabling the counting lane.
+
+    Returns
+    -------
+    uniq : numpy.ndarray of int64
+        Sorted unique ids.
+    summed : numpy.ndarray
+        ``(len(uniq), d)`` accumulated rows, float64.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    rows = np.asarray(rows, dtype=np.float64)
+    if ids.size == 0:
+        return ids.copy(), np.zeros((0, rows.shape[1] if rows.ndim == 2 else 0))
+    dim = rows.shape[1]
+    # Counting lane: bincount beats sorting unless the table is
+    # gigantically larger than the batch.
+    if num_rows is not None and num_rows <= 64 * ids.size:
+        counts = np.bincount(ids, minlength=num_rows)
+        uniq = np.flatnonzero(counts)
+        slots = np.cumsum(counts > 0, dtype=np.int64)
+        slots -= 1  # id -> compact slot, valid where counts > 0
+        # One flat bincount over (slot, dim) keys accumulates every
+        # element of every occurrence in a single counting pass.
+        keys = slots[ids][:, None] * dim + np.arange(dim)
+        summed = np.bincount(
+            keys.ravel(), weights=rows.ravel(), minlength=uniq.size * dim
+        )
+        return uniq, summed.reshape(uniq.size, dim)
+    uniq, inv, occ_counts = np.unique(
+        ids, return_inverse=True, return_counts=True
+    )
+    dup_occ = occ_counts[inv] > 1
+    summed = np.zeros((uniq.size, dim))
+    single = ~dup_occ
+    summed[inv[single]] = rows[single]
+    if dup_occ.any():
+        sub = inv[dup_occ]
+        order = np.argsort(sub, kind="stable")
+        ssub = sub[order]
+        seg_starts = np.concatenate(([0], np.flatnonzero(np.diff(ssub)) + 1))
+        summed[ssub[seg_starts]] = np.add.reduceat(
+            rows[dup_occ][order], seg_starts, axis=0
+        )
+    return uniq, summed
+
+
+class TouchedRows:
+    """Epoch-stamped touched-row tracker for delta accounting.
+
+    One ``uint8`` stamp per row: a row is "touched" when its stamp equals
+    the current epoch.  Stamping a batch is a single vectorized scatter
+    (duplicates free), draining is one compare + ``flatnonzero`` scan, and
+    :meth:`clear` just bumps the epoch — O(1) until the 8-bit epoch space
+    wraps, when the lane is memset once every 255 clears.
+
+    Memory cost is 1 byte/row — under 1% of a float64 row at ``dim >= 16``
+    (1.6% at ``dim = 8``), inside the paper's <2% metadata budget; the
+    :meth:`bitmap` export packs the current epoch's stamps to 1 bit/row
+    for transport or archival.
+
+    Parameters
+    ----------
+    num_rows : int
+        Id universe (embedding-table row count).
+    """
+
+    def __init__(self, num_rows: int) -> None:
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        self._lane = np.zeros(num_rows, dtype=np.uint8)
+        self._epoch = 1
+
+    # ----------------------------------------------------------------- state
+    @property
+    def num_rows(self) -> int:
+        return int(self._lane.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Tracker footprint (the memory-policy overhead)."""
+        return int(self._lane.nbytes)
+
+    def stamp(self, ids: np.ndarray) -> None:
+        """Mark rows as touched; duplicate ids cost nothing extra."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size:
+            self._lane[ids] = self._epoch
+
+    def ids(self) -> np.ndarray:
+        """Sorted ids touched since the last :meth:`clear`."""
+        return np.flatnonzero(self._lane == self._epoch)
+
+    def mask(self) -> np.ndarray:
+        """Dense boolean touched mask, ``(num_rows,)``."""
+        return self._lane == self._epoch
+
+    def bitmap(self) -> np.ndarray:
+        """Packed little-endian bitmap of the touched mask (1 bit/row)."""
+        return np.packbits(self.mask(), bitorder="little")
+
+    def count(self) -> int:
+        return int(np.count_nonzero(self._lane == self._epoch))
+
+    def fraction(self) -> float:
+        return self.count() / self.num_rows
+
+    # ---------------------------------------------------------------- update
+    def clear(self) -> None:
+        """Forget all stamps.  O(1) except one memset per 255 clears."""
+        if self._epoch == 255:
+            self._lane[:] = 0
+            self._epoch = 1
+        else:
+            self._epoch += 1
+
+    def drain(self) -> np.ndarray:
+        """Return the touched ids and clear in one call."""
+        out = self.ids()
+        self.clear()
+        return out
+
+    def resize(self, num_rows: int) -> None:
+        """Grow the universe; existing stamps survive, new rows start clean."""
+        if num_rows < self.num_rows:
+            raise ValueError("TouchedRows only grows; rebuild to shrink")
+        if num_rows > self.num_rows:
+            grown = np.zeros(num_rows, dtype=np.uint8)
+            grown[: self._lane.size] = self._lane
+            self._lane = grown

@@ -33,12 +33,26 @@ class RingBufferStats:
         return max(0.0, self.newest_ts - self.oldest_ts)
 
 
+@dataclass
+class _BatchMeta:
+    """Bookkeeping for one appended batch inside the flat window."""
+
+    timestamp: float
+    size: int
+
+
 class InferenceLogBuffer:
     """Time-windowed ring buffer of served (features, label) batches.
 
     Entries older than ``retention_s`` relative to the newest insert are
     evicted, matching the paper's 10-minute retention window.  An optional
     ``max_samples`` bound emulates fixed memory capacity.
+
+    The window lives in flat per-field arrays (an actual ring of samples):
+    appends copy one batch into spare tail capacity (amortized O(batch)
+    via doubling), evictions advance the head offset in O(1), and
+    sampling is one fancy-index per field over the live slice — no
+    per-row Python and no per-append re-concatenation.
     """
 
     def __init__(
@@ -48,42 +62,86 @@ class InferenceLogBuffer:
             raise ValueError("retention must be positive")
         self.retention_s = retention_s
         self.max_samples = max_samples
-        self._batches: deque[Batch] = deque()
-        self._num_samples = 0
+        self._meta: deque[_BatchMeta] = deque()
+        # Flat window storage: rows [_start, _end) of each buffer are live.
+        self._dense: np.ndarray | None = None
+        self._sparse: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._start = 0
+        self._end = 0
         self.total_appended = 0
         self.total_evicted = 0
 
     def __len__(self) -> int:
-        return self._num_samples
+        return self._end - self._start
+
+    # ---------------------------------------------------------------- storage
+    def _capacity(self) -> int:
+        return 0 if self._dense is None else self._dense.shape[0]
+
+    def _reserve(self, extra: int) -> None:
+        """Make room for ``extra`` tail rows: compact, then grow if needed."""
+        live = len(self)
+        if self._end + extra <= self._capacity():
+            return
+        cap = self._capacity()
+        if live + extra <= cap:
+            # Enough total room: slide the live region back to the front.
+            for buf in (self._dense, self._sparse, self._labels):
+                buf[:live] = buf[self._start : self._end]
+        else:
+            cap = max(2 * (live + extra), 1024)
+            for name in ("_dense", "_sparse", "_labels"):
+                old = getattr(self, name)
+                grown = np.empty((cap, *old.shape[1:]), dtype=old.dtype)
+                grown[:live] = old[self._start : self._end]
+                setattr(self, name, grown)
+        self._start, self._end = 0, live
 
     def append(self, batch: Batch) -> None:
         """Insert a served batch; evicts anything outside the window."""
-        self._batches.append(batch)
-        self._num_samples += batch.size
-        self.total_appended += batch.size
+        size = batch.size
+        if self._dense is None or self._dense.shape[1:] != batch.dense.shape[1:]:
+            cap = max(4 * size, 1024)
+            self._dense = np.empty(
+                (cap, *batch.dense.shape[1:]), dtype=batch.dense.dtype
+            )
+            self._sparse = np.empty(
+                (cap, *batch.sparse_ids.shape[1:]), dtype=batch.sparse_ids.dtype
+            )
+            self._labels = np.empty(
+                (cap, *batch.labels.shape[1:]), dtype=batch.labels.dtype
+            )
+            self._start = self._end = 0
+        else:
+            self._reserve(size)
+        end = self._end + size
+        self._dense[self._end : end] = batch.dense
+        self._sparse[self._end : end] = batch.sparse_ids
+        self._labels[self._end : end] = batch.labels
+        self._end = end
+        self._meta.append(_BatchMeta(timestamp=batch.timestamp, size=size))
+        self.total_appended += size
         self._evict(batch.timestamp)
 
     def _evict(self, now: float) -> None:
-        while self._batches and (
-            now - self._batches[0].timestamp > self.retention_s
-            or (
-                self.max_samples is not None
-                and self._num_samples > self.max_samples
-            )
+        while self._meta and (
+            now - self._meta[0].timestamp > self.retention_s
+            or (self.max_samples is not None and len(self) > self.max_samples)
         ):
-            old = self._batches.popleft()
-            self._num_samples -= old.size
+            old = self._meta.popleft()
+            self._start += old.size
             self.total_evicted += old.size
 
     def stats(self, bytes_per_sample: int = 250) -> RingBufferStats:
-        if not self._batches:
+        if not self._meta:
             return RingBufferStats(0, 0, 0.0, 0.0, 0)
         return RingBufferStats(
-            num_batches=len(self._batches),
-            num_samples=self._num_samples,
-            oldest_ts=self._batches[0].timestamp,
-            newest_ts=self._batches[-1].timestamp,
-            approx_bytes=self._num_samples * bytes_per_sample,
+            num_batches=len(self._meta),
+            num_samples=len(self),
+            oldest_ts=self._meta[0].timestamp,
+            newest_ts=self._meta[-1].timestamp,
+            approx_bytes=len(self) * bytes_per_sample,
         )
 
     # --------------------------------------------------------------- sampling
@@ -93,41 +151,28 @@ class InferenceLogBuffer:
         """Uniformly sample ``batch_size`` examples across the window.
 
         Returns ``None`` when the buffer is empty.  Sampling is with
-        replacement across the concatenated window, which matches how an
-        online trainer re-visits recent traffic.
+        replacement across the window, which matches how an online trainer
+        re-visits recent traffic.  Each field is gathered with one
+        fancy-index over the flat window — the per-row list comprehensions
+        of the seed implementation are gone.
         """
-        if not self._batches:
+        if not self._meta:
             return None
-        sizes = np.array([b.size for b in self._batches])
-        cum = np.cumsum(sizes)
-        total = int(cum[-1])
-        picks = rng.integers(0, total, size=batch_size)
-        batch_idx = np.searchsorted(cum, picks, side="right")
-        within = picks - np.concatenate(([0], cum[:-1]))[batch_idx]
-        dense = np.stack(
-            [self._batches[b].dense[i] for b, i in zip(batch_idx, within)]
-        )
-        sparse = np.stack(
-            [self._batches[b].sparse_ids[i] for b, i in zip(batch_idx, within)]
-        )
-        labels = np.array(
-            [self._batches[b].labels[i] for b, i in zip(batch_idx, within)]
-        )
-        newest = self._batches[-1].timestamp
+        picks = self._start + rng.integers(0, len(self), size=batch_size)
         return Batch(
-            timestamp=newest, dense=dense, sparse_ids=sparse, labels=labels
+            timestamp=self._meta[-1].timestamp,
+            dense=self._dense[picks],
+            sparse_ids=self._sparse[picks],
+            labels=self._labels[picks],
         )
 
     def drain_window(self) -> Batch | None:
-        """Concatenate the whole window into one batch (epoch-style replay)."""
-        if not self._batches:
+        """Copy the whole window into one batch (epoch-style replay)."""
+        if not self._meta:
             return None
-        dense = np.concatenate([b.dense for b in self._batches])
-        sparse = np.concatenate([b.sparse_ids for b in self._batches])
-        labels = np.concatenate([b.labels for b in self._batches])
         return Batch(
-            timestamp=self._batches[-1].timestamp,
-            dense=dense,
-            sparse_ids=sparse,
-            labels=labels,
+            timestamp=self._meta[-1].timestamp,
+            dense=self._dense[self._start : self._end].copy(),
+            sparse_ids=self._sparse[self._start : self._end].copy(),
+            labels=self._labels[self._start : self._end].copy(),
         )

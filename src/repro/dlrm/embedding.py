@@ -10,6 +10,14 @@ pairs — because production DLRMs only touch the rows present in a mini-batch.
 That sparsity is exactly what makes delta-style synchronization (and
 LiveUpdate's low-rank adapters) possible, so the substrate preserves it
 instead of materialising dense ``|V| x d`` gradient tensors.
+
+The hot paths are whole-array passes over :mod:`repro.core.kernels`:
+pooled forward/backward run through offset-based segment reductions
+(:func:`~repro.core.kernels.pool_rows` /
+:func:`~repro.core.kernels.group_rows_sum`) and touched-row delta
+accounting is an epoch-stamped
+:class:`~repro.core.kernels.TouchedRows` lane — no per-bag or per-id
+Python loops survive on the train/serve path.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..core.kernels import TouchedRows, group_rows_sum, pool_rows
 
 __all__ = [
     "SparseRowGrad",
@@ -90,7 +100,7 @@ class EmbeddingTable:
         self.name = name or f"emt_{num_rows}x{dim}"
         # Row-level bookkeeping used by delta-update strategies and by the
         # Fig. 3a experiment (fraction of rows touched per window).
-        self._touched: set[int] = set()
+        self._touched = TouchedRows(num_rows)
 
     # ------------------------------------------------------------------ shape
     @property
@@ -127,18 +137,9 @@ class EmbeddingTable:
         """
         ids = np.asarray(ids, dtype=np.int64)
         offsets = np.asarray(offsets, dtype=np.int64)
-        batch = offsets.shape[0] - 1
-        out = np.zeros((batch, self.dim))
-        rows = self.lookup(ids) if ids.size else np.zeros((0, self.dim))
-        for b in range(batch):
-            lo, hi = offsets[b], offsets[b + 1]
-            if hi <= lo:
-                continue
-            seg = rows[lo:hi]
-            out[b] = seg.sum(axis=0)
-            if mode == "mean":
-                out[b] /= hi - lo
-        return out
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_rows):
+            raise IndexError(f"embedding id out of range for table {self.name}")
+        return pool_rows(self.weight, ids, offsets, mode=mode)
 
     # --------------------------------------------------------------- backward
     def grad_from_output(
@@ -147,9 +148,7 @@ class EmbeddingTable:
         """Accumulate per-sample output gradients into unique row gradients."""
         ids = np.asarray(ids, dtype=np.int64)
         grad_out = np.asarray(grad_out, dtype=np.float64)
-        uniq, inverse = np.unique(ids, return_inverse=True)
-        rows = np.zeros((uniq.shape[0], self.dim))
-        np.add.at(rows, inverse, grad_out)
+        uniq, rows = group_rows_sum(ids, grad_out, num_rows=self.num_rows)
         return SparseRowGrad(uniq, rows)
 
     def grad_from_pooled(
@@ -162,46 +161,61 @@ class EmbeddingTable:
         """Backward of :meth:`lookup_pooled`.
 
         Each id in bag ``b`` receives ``grad_out[b]`` (divided by bag size for
-        mean pooling), then duplicates are accumulated.
+        mean pooling), then duplicates are accumulated — one spread
+        (``np.repeat``) plus one duplicate-sparse scatter-add, no per-bag
+        Python loop.
         """
         ids = np.asarray(ids, dtype=np.int64)
         offsets = np.asarray(offsets, dtype=np.int64)
         grad_out = np.asarray(grad_out, dtype=np.float64)
-        per_id = np.zeros((ids.shape[0], self.dim))
-        batch = offsets.shape[0] - 1
-        for b in range(batch):
-            lo, hi = offsets[b], offsets[b + 1]
-            if hi <= lo:
-                continue
-            g = grad_out[b]
-            if mode == "mean":
-                g = g / (hi - lo)
-            per_id[lo:hi] = g
-        uniq, inverse = np.unique(ids, return_inverse=True)
-        rows = np.zeros((uniq.shape[0], self.dim))
-        np.add.at(rows, inverse, per_id)
+        sizes = np.diff(offsets)
+        if int(sizes.sum()) != ids.shape[0]:
+            raise ValueError("offsets do not cover the id stream")
+        if mode == "mean":
+            grad_out = grad_out / np.maximum(sizes, 1)[:, None]
+        per_id = np.repeat(grad_out, sizes, axis=0)
+        uniq, rows = group_rows_sum(ids, per_id, num_rows=self.num_rows)
         return SparseRowGrad(uniq, rows)
 
     # ----------------------------------------------------------------- update
     def apply_sparse_update(self, grad: SparseRowGrad, lr: float) -> None:
         """Plain SGD row update; marks rows as touched for delta tracking."""
         self.weight[grad.indices] -= lr * grad.rows
-        self._touched.update(int(i) for i in grad.indices)
+        self.mark_touched(grad.indices)
 
     def assign_rows(self, indices: np.ndarray, rows: np.ndarray) -> None:
         """Overwrite specific rows (used when applying pulled deltas)."""
         indices = np.asarray(indices, dtype=np.int64)
         self.weight[indices] = rows
-        self._touched.update(int(i) for i in indices)
+        self.mark_touched(indices)
 
     # ------------------------------------------------------- delta accounting
+    def mark_touched(self, indices: np.ndarray) -> None:
+        """Stamp rows into the delta log (optimizers call this per step).
+
+        Tracks in-place vocabulary growth: when the weight matrix has
+        grown past the stamp lane, the lane grows with it (existing
+        stamps survive), mirroring how the optimizer grows its row state.
+        """
+        if self._touched.num_rows < self.num_rows:
+            self._touched.resize(self.num_rows)
+        self._touched.stamp(np.asarray(indices, dtype=np.int64))
+
     def touched_rows(self) -> np.ndarray:
         """Sorted ids of rows modified since the last :meth:`reset_touched`."""
-        return np.array(sorted(self._touched), dtype=np.int64)
+        return self._touched.ids()
+
+    def drain_touched(self) -> np.ndarray:
+        """Touched ids + reset in one pass (delta-publish hot path)."""
+        return self._touched.drain()
+
+    def touched_count(self) -> int:
+        """Number of rows modified since the last reset."""
+        return self._touched.count()
 
     def touched_fraction(self) -> float:
         """Fraction of the table modified since the last reset (Fig. 3a)."""
-        return len(self._touched) / self.num_rows
+        return self._touched.fraction()
 
     def reset_touched(self) -> None:
         self._touched.clear()
@@ -211,7 +225,7 @@ class EmbeddingTable:
         dup = EmbeddingTable.__new__(EmbeddingTable)
         dup.weight = self.weight.copy()
         dup.name = self.name
-        dup._touched = set()
+        dup._touched = TouchedRows(self.num_rows)
         return dup
 
 
@@ -258,7 +272,7 @@ class EmbeddingBagCollection:
     def touched_fraction(self) -> float:
         """Row-weighted average touched fraction across tables."""
         total = self.total_rows
-        touched = sum(len(t._touched) for t in self.tables)
+        touched = sum(t.touched_count() for t in self.tables)
         return touched / total if total else 0.0
 
     def reset_touched(self) -> None:

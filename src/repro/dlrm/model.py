@@ -9,7 +9,12 @@ The model follows Fig. 1 of the paper (and Naumov et al.'s reference DLRM):
 
 Training minimises binary cross-entropy; the backward pass produces row-sparse
 embedding gradients (the raw material of the paper's low-rank analysis) plus
-dense grads for both MLPs.
+dense grads for both MLPs.  The sparse backward accumulates duplicate ids
+through :func:`repro.core.kernels.group_rows_sum` (duplicate-sparse
+scatter-add) and the optimizer's row updates stamp the tables'
+:class:`repro.core.kernels.TouchedRows` epoch lanes, so a full
+``train_step -> touched-row drain -> delta publish`` cycle runs as whole-array
+passes.
 
 The forward path accepts an *embedding overlay*: a callable that may adjust
 looked-up rows.  LiveUpdate uses this hook to serve ``W_base[i] + A[i] B``
@@ -228,7 +233,9 @@ class DLRM:
 
         Args:
             optimizer: object with ``step_sparse(table, grad)`` and
-                ``step_dense(mlp, grads)`` methods.
+                ``step_dense(mlp, grads)`` methods.  Sparse steps are
+                expected to mark updated rows on the table (both built-in
+                optimizers do) so delta strategies see them.
             update_dense: set ``False`` to freeze MLPs (the paper's
                 inference-side trainer only adapts embeddings).
         """

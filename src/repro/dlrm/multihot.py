@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.kernels import segment_pool
 from .embedding import EmbeddingTable, SparseRowGrad
 
 __all__ = ["MultiHotField", "PooledFieldLayer"]
@@ -110,17 +111,10 @@ class PooledFieldLayer:
         """Pooled lookup through a LoRA adapter (``W + A B`` per id).
 
         Pooling commutes with the additive adapter, so the adapted pooled
-        vector is ``pool(W[ids]) + pool(delta[ids])``.
+        vector is ``pool(W[ids]) + pool(delta[ids])``; the delta rows are
+        one masked batch gather inside the adapter and the pooling is one
+        segment reduction — no per-bag loop.
         """
         base = self.forward(field)
         deltas = adapter.delta_rows(field.ids)
-        pooled_delta = np.zeros_like(base)
-        for b in range(field.batch_size):
-            lo, hi = field.offsets[b], field.offsets[b + 1]
-            if hi <= lo:
-                continue
-            seg = deltas[lo:hi].sum(axis=0)
-            if self.mode == "mean":
-                seg = seg / (hi - lo)
-            pooled_delta[b] = seg
-        return base + pooled_delta
+        return base + segment_pool(deltas, field.offsets, mode=self.mode)

@@ -9,9 +9,13 @@ Two flavours are provided:
 
 Both understand the :class:`~repro.dlrm.embedding.SparseRowGrad` format so
 that only touched rows pay update cost, matching production behaviour.
+The sparse step is one fused gather -> update -> scatter pass, and touched
+rows are stamped into the table's epoch lane — no per-id Python work.
 """
 
 from __future__ import annotations
+
+import weakref
 
 import numpy as np
 
@@ -43,6 +47,15 @@ class RowwiseAdagrad:
     squared gradient of the row; the effective step is
     ``lr / sqrt(s_i + eps)``.  Dense modules fall back to full Adagrad with
     per-parameter accumulators.
+
+    Accumulators are keyed by the live module object through a
+    ``WeakKeyDictionary`` so one optimizer can drive many tables/MLPs, the
+    way a training job owns all modules.  Weak keying makes the association
+    robust: a garbage-collected table drops its state with it (the former
+    ``id(table)`` keys could alias a new object's id and silently hand it
+    stale accumulators), ``copy()`` forks start with fresh state, and
+    in-place refreshes (``load_state_dict``) keep their history.  When a
+    table grows, row state grows with it instead of being zeroed.
     """
 
     def __init__(self, lr: float = 0.05, eps: float = 1e-8) -> None:
@@ -50,38 +63,53 @@ class RowwiseAdagrad:
             raise ValueError("lr must be positive")
         self.lr = lr
         self.eps = eps
-        # Accumulators are keyed by object identity so one optimizer can
-        # drive many tables/MLPs, the way a training job owns all modules.
-        self._row_state: dict[int, np.ndarray] = {}
-        self._dense_state: dict[int, tuple[list[np.ndarray], list[np.ndarray]]] = {}
+        self._row_state: "weakref.WeakKeyDictionary[EmbeddingTable, np.ndarray]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._dense_state: "weakref.WeakKeyDictionary[MLP, tuple[list[np.ndarray], list[np.ndarray]]]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # ------------------------------------------------------------ sparse path
     def _rows_for(self, table: EmbeddingTable) -> np.ndarray:
-        key = id(table)
-        state = self._row_state.get(key)
-        if state is None or state.shape[0] != table.num_rows:
+        state = self._row_state.get(table)
+        if state is None:
             state = np.zeros(table.num_rows)
-            self._row_state[key] = state
+            self._row_state[table] = state
+        elif state.shape[0] != table.num_rows:
+            # The table was resized in place (vocabulary growth): carry the
+            # overlapping accumulator history instead of restarting it.
+            grown = np.zeros(table.num_rows)
+            keep = min(state.shape[0], table.num_rows)
+            grown[:keep] = state[:keep]
+            state = grown
+            self._row_state[table] = state
         return state
 
     def step_sparse(self, table: EmbeddingTable, grad: SparseRowGrad) -> None:
+        """Fused gather -> accumulate -> scatter sparse update.
+
+        ``grad.indices`` are unique by the :class:`SparseRowGrad` contract,
+        so the accumulator gather/scatter pair is exact; the row scale and
+        weight update reuse the gathered accumulator without re-probing.
+        """
         state = self._rows_for(table)
-        g2 = (grad.rows ** 2).mean(axis=1)
-        state[grad.indices] += g2
-        scale = self.lr / np.sqrt(state[grad.indices] + self.eps)
-        table.weight[grad.indices] -= scale[:, None] * grad.rows
-        table._touched.update(int(i) for i in grad.indices)
+        idx = grad.indices
+        g2 = np.einsum("ij,ij->i", grad.rows, grad.rows) / grad.rows.shape[1]
+        acc = state[idx] + g2
+        state[idx] = acc
+        table.weight[idx] -= (self.lr / np.sqrt(acc + self.eps))[:, None] * grad.rows
+        table.mark_touched(idx)
 
     # ------------------------------------------------------------- dense path
     def step_dense(self, mlp: MLP, grads: DenseGrads) -> None:
-        key = id(mlp)
-        state = self._dense_state.get(key)
+        state = self._dense_state.get(mlp)
         if state is None:
             state = (
                 [np.zeros_like(w) for w in mlp.weights],
                 [np.zeros_like(b) for b in mlp.biases],
             )
-            self._dense_state[key] = state
+            self._dense_state[mlp] = state
         acc_w, acc_b = state
         for w, gw, aw in zip(mlp.weights, grads.weights, acc_w):
             aw += gw ** 2

@@ -7,7 +7,6 @@ and provides the measurement window Algorithm 2 consumes.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,22 +43,36 @@ class SLAMonitor:
             raise ValueError("SLA target must be positive")
         self.p99_target_ms = p99_target_ms
         self.window_requests = window_requests
-        self._current: list[float] = []
+        self._current = np.empty(0, dtype=np.float64)
         self.reports: list[SLAReport] = []
         self._window_id = 0
 
     def observe(self, latencies_ms: np.ndarray) -> list[SLAReport]:
-        """Feed request latencies; returns any windows completed by them."""
-        completed = []
-        for value in np.asarray(latencies_ms, dtype=np.float64).ravel():
-            self._current.append(float(value))
-            if len(self._current) >= self.window_requests:
-                completed.append(self._close_window())
+        """Feed request latencies; returns any windows completed by them.
+
+        The pending tail and the incoming burst are sliced into
+        ``window_requests``-sized windows in one pass — each completed
+        window still produces its own :class:`SLAReport`, exactly as the
+        per-value loop did.
+        """
+        values = np.asarray(latencies_ms, dtype=np.float64).ravel()
+        if values.size == 0:
+            return []
+        buf = (
+            np.concatenate((self._current, values))
+            if self._current.size
+            else values
+        )
+        w = self.window_requests
+        n_complete = buf.size // w
+        completed = [
+            self._close_window(buf[i * w : (i + 1) * w])
+            for i in range(n_complete)
+        ]
+        self._current = buf[n_complete * w :].copy()
         return completed
 
-    def _close_window(self) -> SLAReport:
-        samples = np.array(self._current)
-        self._current.clear()
+    def _close_window(self, samples: np.ndarray) -> SLAReport:
         self._window_id += 1
         p99 = percentile(samples, 99)
         report = SLAReport(
@@ -75,8 +88,8 @@ class SLAMonitor:
 
     def current_p99(self) -> float:
         """P99 of the in-progress window (or last closed one if empty)."""
-        if self._current:
-            return percentile(np.array(self._current), 99)
+        if self._current.size:
+            return percentile(self._current, 99)
         if self.reports:
             return self.reports[-1].p99_ms
         return float("nan")

@@ -1,11 +1,19 @@
 """QuickUpdate baseline (Matam et al., NSDI'24).
 
 Transfers only the top-``alpha`` fraction of changed rows ranked by update
-magnitude (L2 of ``w_now - w_at_last_push``), supplemented by an hourly
+magnitude (L2 of ``w_now - w_served``), supplemented by an hourly
 full-parameter update to bound the drift accumulated from dropped rows.
 The magnitude heuristic is precisely what loses the "semantically critical
 but low-gradient" updates the paper calls out, so its accuracy lands between
 NoUpdate and DeltaUpdate (Table III).
+
+Cost model: the seed implementation kept a full ``weight.copy()`` reference
+snapshot of every table (O(all rows) memory, copied again on every full
+sync).  The serving node's own rows *are* that reference — a row the node
+never received still carries its last-full-sync value, and a pushed row is
+byte-identical on both sides — so selection now diffs the trainer against
+the node over the touched-row set only, making every window O(changed rows)
+in both time and memory.
 """
 
 from __future__ import annotations
@@ -40,20 +48,21 @@ class QuickUpdate(UpdateStrategy):
         self.node = server_node
         self.alpha = alpha
         self.name = f"QuickUpdate-{int(round(alpha * 100))}%"
-        # Snapshot of each table at the node's last successful update; update
-        # magnitude is measured against this reference.
-        self._reference = [
-            t.weight.copy() for t in trainer.model.embeddings
-        ]
 
     # ------------------------------------------------------------- selection
     def _select_rows(self, field: int) -> np.ndarray:
-        """Top-alpha% of changed rows by L2 magnitude for one table."""
+        """Top-alpha% of changed rows by L2 magnitude for one table.
+
+        Magnitude is measured against the serving node's copy of the row —
+        the value at the node's last successful update of that row (or last
+        full sync), exactly the reference the seed snapshot tracked.
+        """
         table = self.trainer.model.embeddings[field]
         changed = table.touched_rows()
         if changed.size == 0:
             return changed
-        delta = table.weight[changed] - self._reference[field][changed]
+        served = self.node.model.embeddings[field].weight
+        delta = table.weight[changed] - served[changed]
         magnitude = np.linalg.norm(delta, axis=1)
         keep = max(1, int(np.ceil(self.alpha * changed.size)))
         top = np.argpartition(magnitude, -keep)[-keep:]
@@ -68,11 +77,10 @@ class QuickUpdate(UpdateStrategy):
                 continue
             rows = table.weight[selected]
             self.node.model.embeddings[f].assign_rows(selected, rows)
-            self._reference[f][selected] = rows
             total_rows += int(selected.size)
-        # Rows NOT selected stay stale on the node but the training cluster's
-        # touch log must reset so next window measures fresh changes against
-        # the per-row reference (which we did not advance for dropped rows).
+        # Rows NOT selected stay stale on the node, and the node's rows
+        # remain the per-row reference for them; the training cluster's
+        # touch log resets so next window measures fresh changes only.
         # Dense layers are NOT refreshed here: pairing fresh dense weights
         # with mostly-stale embeddings breaks their co-adaptation; dense
         # rides the hourly full sync instead.
@@ -90,8 +98,7 @@ class QuickUpdate(UpdateStrategy):
     def on_full_sync(self, now: float) -> UpdateCost:
         """Hourly full-parameter update (Fig. 8's drift limiter)."""
         self.node.adopt_model(self.trainer.model)
-        for f, table in enumerate(self.trainer.model.embeddings):
-            self._reference[f] = table.weight.copy()
+        for table in self.trainer.model.embeddings:
             table.reset_touched()
         nbytes = self.trainer.model.embedding_bytes
         cost = UpdateCost(
