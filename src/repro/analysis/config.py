@@ -1,0 +1,123 @@
+"""Lint configuration: hot-path modules, rule scopes, severities.
+
+The defaults encode this repo's invariants — which modules are *hot*
+(no per-element Python, explicit dtypes), which modules decide
+*placement* (builtin ``hash()`` banned), and where simulated time is the
+only clock.  Scopes are fnmatch patterns over dotted module names as
+produced by :func:`repro.analysis.context.module_name_for`, so the same
+patterns address ``src`` packages (``repro.core.kernels``) and the
+sibling trees (``tests.*``, ``benchmarks.*``, ``examples.*``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HOT_MODULES",
+    "PLACEMENT_MODULES",
+    "SIM_MODULES",
+    "PUBLIC_API_MODULES",
+    "DTYPE_CONSTRUCTORS",
+    "SANCTIONED_HASHES",
+    "LintConfig",
+]
+
+# Modules declared hot: every per-element Python loop is a regression
+# unless explicitly suppressed with a reason, and every array constructor
+# must pin its dtype.  Mirrors the PR-1/PR-4/PR-5 vectorization work.
+HOT_MODULES: tuple[str, ...] = (
+    "repro.core.kernels",
+    "repro.hardware.vectorcache",
+    "repro.cluster.shardstore.*",
+    "repro.dlrm.embedding",
+    "repro.dlrm.optim",
+)
+
+# Modules whose decisions must be byte-identical across processes:
+# request routing, shard placement, hashing kernels.  The salted builtin
+# ``hash()`` broke exactly these twice (PR 1 routing, PR 2 placement).
+PLACEMENT_MODULES: tuple[str, ...] = (
+    "repro.serving.router",
+    "repro.cluster.shardstore.*",
+    "repro.cluster.parameter_server",
+    "repro.core.kernels",
+    "repro.core.hot_index",
+    "repro.dlrm.hashing",
+    "repro.hardware.vectorcache",
+)
+
+# Simulation/model code: wall-clock reads would make simulated timelines
+# host-dependent.  Everything under ``src`` counts; benchmarks and
+# examples may time themselves.
+SIM_MODULES: tuple[str, ...] = ("repro", "repro.*")
+
+# Public modules that must carry a docstring and a resolvable ``__all__``.
+PUBLIC_API_MODULES: tuple[str, ...] = ("repro", "repro.*")
+
+# numpy constructors that must pass an explicit ``dtype=`` in hot modules.
+DTYPE_CONSTRUCTORS: frozenset[str] = frozenset(
+    {
+        "numpy.zeros",
+        "numpy.empty",
+        "numpy.ones",
+        "numpy.full",
+        "numpy.arange",
+        "numpy.asarray",
+    }
+)
+
+# The process-stable hash family that replaces the builtin ``hash()``.
+SANCTIONED_HASHES: tuple[str, ...] = (
+    "repro.core.kernels.splitmix64",
+    "repro.core.kernels.hash_combine",
+    "repro.core.kernels.stable_str_hash",
+)
+
+
+@dataclass
+class LintConfig:
+    """Tunable knobs for one lint run.
+
+    Attributes:
+        hot_modules: fnmatch patterns of modules under the hot-path
+            contract (``hot-loop`` + ``dtype-discipline``).
+        placement_modules: patterns where builtin ``hash()`` is banned.
+        sim_modules: patterns where wall-clock reads are banned.
+        public_api_modules: patterns checked for docstring/``__all__``.
+        severities: per-rule severity overrides (``rule -> severity``).
+        disabled: rule names switched off entirely.
+        selected: when non-empty, *only* these rules run.
+    """
+
+    hot_modules: tuple[str, ...] = HOT_MODULES
+    placement_modules: tuple[str, ...] = PLACEMENT_MODULES
+    sim_modules: tuple[str, ...] = SIM_MODULES
+    public_api_modules: tuple[str, ...] = PUBLIC_API_MODULES
+    severities: dict[str, str] = field(default_factory=dict)
+    disabled: frozenset[str] = frozenset()
+    selected: frozenset[str] = frozenset()
+
+    def rule_enabled(self, name: str) -> bool:
+        """Whether rule ``name`` participates in this run."""
+        if name in self.disabled:
+            return False
+        return not self.selected or name in self.selected
+
+    def rule_scope(
+        self, name: str, default: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        """Module patterns rule ``name`` applies to."""
+        if name in ("hot-loop", "dtype-discipline"):
+            return self.hot_modules
+        if name == "no-salted-hash":
+            return self.placement_modules
+        if name == "no-wallclock-in-sim":
+            return self.sim_modules
+        if name == "public-api":
+            return self.public_api_modules
+        return default
+
+    def severity_of(self, name: str, default: str) -> str:
+        """Severity for rule ``name`` (config override or rule default)."""
+        return self.severities.get(name, default)

@@ -1,0 +1,65 @@
+"""Render a :class:`~repro.analysis.engine.LintResult` as text or JSON.
+
+The JSON schema is versioned and pinned by ``tests/test_analysis_lint.py``
+so downstream tooling (CI annotations, dashboards) can rely on it::
+
+    {
+      "version": 1,
+      "files_scanned": <int>,
+      "summary": {"errors": <int>, "warnings": <int>, "suppressed": <int>},
+      "findings": [
+        {"rule": ..., "path": ..., "line": ..., "col": ...,
+         "severity": ..., "message": ...,
+         "suppressed": <bool>, "suppress_reason": <str|null>},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """One ``path:line:col: severity rule message`` line per finding."""
+    lines = []
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        tag = f"{finding.severity}: {finding.rule}"
+        if finding.suppressed:
+            reason = finding.suppress_reason or "no reason given"
+            tag = f"suppressed: {finding.rule} ({reason})"
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{tag}: {finding.message}"
+        )
+    errors, warnings = len(result.errors), len(result.warnings)
+    suppressed = len(result.suppressed)
+    lines.append(
+        f"{result.files_scanned} files scanned: {errors} error(s), "
+        f"{warnings} warning(s), {suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Serialise the full result (suppressed findings included)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "summary": {
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "suppressed": len(result.suppressed),
+        },
+        "findings": [finding.as_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

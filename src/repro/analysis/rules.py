@@ -1,0 +1,470 @@
+"""The six repo-specific invariant rules.
+
+Each rule machine-checks an invariant this repo has already paid to learn
+(see ``docs/lint.md`` for the incident history behind every rule):
+
+* ``no-salted-hash`` — the builtin ``hash()`` is salted per process and
+  broke routing (PR 1) and shard placement (PR 2); placement code uses
+  the splitmix64 family only.
+* ``no-unseeded-rng`` — all randomness flows through
+  ``np.random.default_rng(seed)`` / explicit ``Generator`` params.
+* ``no-wallclock-in-sim`` — simulation/model code runs on simulated
+  time; ``time.time()`` / ``datetime.now()`` make runs host-dependent.
+* ``hot-loop`` — per-element Python loops over array data in modules
+  declared hot; a deliberate scalar fallback needs a reasoned
+  suppression.
+* ``dtype-discipline`` — array constructors in hot modules pin their
+  dtype explicitly (int64 ids, uint64 routing keys, float64 rows).
+* ``public-api`` — public modules carry a docstring and a statically
+  resolvable ``__all__`` whose names exist and are documented.
+
+Rules are syntactic: they see one file's AST, never import the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .config import DTYPE_CONSTRUCTORS, LintConfig
+from .context import FileContext
+from .registry import Finding, Rule, register
+
+__all__ = [
+    "NoSaltedHashRule",
+    "NoUnseededRngRule",
+    "NoWallclockInSimRule",
+    "HotLoopRule",
+    "DtypeDisciplineRule",
+    "PublicApiRule",
+]
+
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+# Attribute/method access that scalarises an array when iterated.
+_SCALARIZING_METHODS = frozenset({"tolist", "flatten", "ravel", "item"})
+_SCALARIZING_ATTRS = frozenset({"flat"})
+
+
+@register
+class NoSaltedHashRule(Rule):
+    """Builtin ``hash()`` banned where placement must be process-stable."""
+
+    name = "no-salted-hash"
+    description = (
+        "builtin hash() is salted per process (PYTHONHASHSEED); placement/"
+        "routing code must use splitmix64/hash_combine/stable_str_hash"
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == "hash"
+                and isinstance(node.ctx, ast.Load)
+                and "hash" not in ctx.aliases
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "salted builtin hash() in placement-critical module; "
+                    "use repro.core.kernels.splitmix64 / hash_combine / "
+                    "stable_str_hash",
+                )
+
+
+@register
+class NoUnseededRngRule(Rule):
+    """All randomness flows through seeded ``default_rng``/``Generator``."""
+
+    name = "no-unseeded-rng"
+    description = (
+        "bare np.random.* / stdlib random.* calls are nondeterministic; "
+        "thread an np.random.default_rng(seed) / Generator through instead"
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualname(node.func)
+            if qual is None:
+                continue
+            if qual.startswith("numpy.random."):
+                tail = qual.rsplit(".", 1)[1]
+                if tail == "default_rng" or tail[:1].isupper():
+                    # Seeded construction — only the zero-argument form
+                    # (fresh OS entropy) is nondeterministic.
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{tail}() without a seed draws fresh OS "
+                            "entropy; pass an explicit seed",
+                        )
+                else:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"np.random.{tail}() uses the hidden global RNG; "
+                        "use np.random.default_rng(seed)",
+                    )
+            elif qual.startswith("random.") and qual.count(".") == 1:
+                tail = qual.rsplit(".", 1)[1]
+                if tail == "Random" and (node.args or node.keywords):
+                    continue  # random.Random(seed) is at least seeded
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stdlib random.{tail}() is banned; use "
+                    "np.random.default_rng(seed)",
+                )
+
+
+@register
+class NoWallclockInSimRule(Rule):
+    """Wall-clock reads banned from simulation/model code."""
+
+    name = "no-wallclock-in-sim"
+    description = (
+        "time.time()/datetime.now() make simulated timelines host-"
+        "dependent; simulation code advances simulated time only"
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualname(node.func)
+            if qual in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {qual}() in simulation/model code; "
+                    "use the simulated timeline (perf_counter is fine for "
+                    "measuring real compute)",
+                )
+
+
+@register
+class HotLoopRule(Rule):
+    """Per-element Python loops over array data in hot modules."""
+
+    name = "hot-loop"
+    description = (
+        "per-element for/while over array data in a module declared hot; "
+        "vectorize, or suppress with a reason for a deliberate scalar "
+        "fallback"
+    )
+    requires_reason = True
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                why = _scalarizing_iter(ctx, node.iter)
+                if why:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"per-element loop over array data ({why}) in hot "
+                        "module; vectorize or add `# repro-lint: "
+                        "disable=hot-loop -- <reason>`",
+                    )
+            elif isinstance(node, ast.While):
+                why = _scalarizing_expr(ctx, node.test)
+                if why:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"per-element while loop ({why}) in hot module; "
+                        "vectorize or add `# repro-lint: disable=hot-loop "
+                        "-- <reason>`",
+                    )
+
+
+@register
+class DtypeDisciplineRule(Rule):
+    """Array constructors in hot modules must pin ``dtype=`` explicitly."""
+
+    name = "dtype-discipline"
+    description = (
+        "np.zeros/empty/ones/full/arange/asarray in hot modules must pass "
+        "an explicit dtype= (int64 ids, uint64 keys, float64 rows)"
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualname(node.func)
+            if qual not in DTYPE_CONSTRUCTORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            tail = qual.rsplit(".", 1)[1]
+            hint = (
+                "use a checked coercer from repro.core.dtypes"
+                if tail == "asarray"
+                else "pass dtype= explicitly"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"np.{tail}(...) without an explicit dtype= in a hot "
+                f"module silently inherits a platform/input-dependent "
+                f"dtype; {hint}",
+            )
+
+
+@register
+class PublicApiRule(Rule):
+    """Public modules: docstring + resolvable, documented ``__all__``."""
+
+    name = "public-api"
+    description = (
+        "public repro modules must carry a module docstring and an "
+        "__all__ whose names exist and (for defs/classes) are documented"
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        tree = ctx.tree
+        if any(part.startswith("_") for part in ctx.module.split(".")):
+            return
+        if ast.get_docstring(tree) is None:
+            yield self.finding(
+                ctx, tree, "public module is missing a module docstring"
+            )
+        names, assign_node = _resolve_dunder_all(tree)
+        if assign_node is None:
+            yield self.finding(
+                ctx,
+                tree,
+                "public module does not define __all__; declare the "
+                "intended API surface",
+            )
+            return
+        if names is None:
+            yield self.finding(
+                ctx,
+                assign_node,
+                "__all__ could not be resolved statically; use a literal "
+                "list/tuple of strings (or list(<dict literal>))",
+            )
+            return
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                yield self.finding(
+                    ctx, assign_node, f"duplicate name {name!r} in __all__"
+                )
+            seen.add(name)
+        bound, documented, has_getattr = _module_bindings(tree)
+        for name in names:
+            if name not in bound and not has_getattr:
+                yield self.finding(
+                    ctx,
+                    assign_node,
+                    f"__all__ lists {name!r} but the module never binds it",
+                )
+            elif name in documented and not documented[name]:
+                yield self.finding(
+                    ctx,
+                    assign_node,
+                    f"public name {name!r} in __all__ has no docstring",
+                )
+
+
+# --------------------------------------------------------------------- helpers
+def _scalarizing_expr(ctx: FileContext, expr: ast.AST) -> str | None:
+    """Why ``expr`` scalarises array data, or None if it doesn't."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _SCALARIZING_METHODS:
+                return f".{node.func.attr}()"
+        elif isinstance(node, ast.Attribute):
+            if node.attr in _SCALARIZING_ATTRS and isinstance(
+                node.ctx, ast.Load
+            ):
+                return f".{node.attr}"
+        elif isinstance(node, ast.Call):
+            qual = ctx.qualname(node.func)
+            if qual == "numpy.nditer":
+                return "np.nditer"
+    return None
+
+
+def _scalarizing_iter(ctx: FileContext, iter_expr: ast.AST) -> str | None:
+    """Why iterating ``iter_expr`` is per-element, or None.
+
+    Catches ``.tolist()/.flat/np.nditer`` anywhere in the iterable
+    (including inside ``zip``/``enumerate``/``reversed``) and the classic
+    index loop ``range(len(x))`` / ``range(x.size)`` / ``range(x.shape[i])``
+    — but allows the 3-argument strided form ``range(lo, hi, step)``,
+    which is how chunked whole-array passes are written.
+    """
+    why = _scalarizing_expr(ctx, iter_expr)
+    if why:
+        return why
+    for node in ast.walk(iter_expr):
+        if not (
+            isinstance(node, ast.Call)
+            and ctx.qualname(node.func) == "range"
+            and len(node.args) <= 2
+        ):
+            continue
+        for arg in node.args:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Call) and ctx.qualname(sub.func) == "len":
+                    return "range(len(...))"
+                if isinstance(sub, ast.Attribute) and sub.attr in (
+                    "size",
+                    "shape",
+                ):
+                    return f"range(.{sub.attr})"
+    return None
+
+
+def _resolve_dunder_all(
+    tree: ast.Module,
+) -> tuple[list[str] | None, ast.AST | None]:
+    """Statically resolve ``__all__``: ``(names, assignment node)``.
+
+    ``names`` is None when ``__all__`` exists but is not resolvable; the
+    node is None when ``__all__`` is absent.  Handles literal lists and
+    tuples, ``+``-concatenation of resolvables, and the lazy-export
+    pattern ``__all__ = list(_EXPORTS)`` where ``_EXPORTS`` is a module-
+    level dict literal with constant string keys.
+    """
+    dict_literals: dict[str, ast.Dict] = {}
+    assignment: ast.AST | None = None
+    value: ast.AST | None = None
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if isinstance(node.value, ast.Dict):
+                        dict_literals[target.id] = node.value
+                    if target.id == "__all__":
+                        assignment, value = node, node.value
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == "__all__"
+                and node.value is not None
+            ):
+                assignment, value = node, node.value
+    if assignment is None:
+        return None, None
+    return _resolve_name_list(value, dict_literals), assignment
+
+
+def _resolve_name_list(
+    value: ast.AST | None, dict_literals: dict[str, ast.Dict]
+) -> list[str] | None:
+    if isinstance(value, (ast.List, ast.Tuple)):
+        names: list[str] = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                names.append(element.value)
+            else:
+                return None
+        return names
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Add):
+        left = _resolve_name_list(value.left, dict_literals)
+        right = _resolve_name_list(value.right, dict_literals)
+        if left is None or right is None:
+            return None
+        return left + right
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("list", "sorted", "tuple")
+        and len(value.args) == 1
+        and isinstance(value.args[0], ast.Name)
+        and value.args[0].id in dict_literals
+    ):
+        keys = dict_literals[value.args[0].id].keys
+        names = []
+        for key in keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                names.append(key.value)
+            else:
+                return None
+        return sorted(names) if value.func.id == "sorted" else names
+    return None
+
+
+def _module_bindings(
+    tree: ast.Module,
+) -> tuple[set[str], dict[str, bool], bool]:
+    """Top-level bindings: ``(bound names, def/class -> documented, lazy?)``."""
+    bound: set[str] = set()
+    documented: dict[str, bool] = {}
+    has_getattr = False
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(node.name)
+            if node.name == "__getattr__":
+                has_getattr = True
+            documented[node.name] = ast.get_docstring(node) is not None
+        elif isinstance(node, ast.ClassDef):
+            bound.add(node.name)
+            documented[node.name] = ast.get_docstring(node) is not None
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        bound.add(sub.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".", 1)[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # conditional defs (TYPE_CHECKING, optional deps): count any
+            # binding anywhere inside
+            for sub in ast.walk(node):
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    bound.add(sub.name)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        for name in ast.walk(target):
+                            if isinstance(name, ast.Name):
+                                bound.add(name.id)
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bound.add(alias.asname or alias.name)
+    return bound, documented, has_getattr

@@ -109,18 +109,21 @@ class CollectiveCostModel:
 def allgather_tree_seconds(
     num_nodes: int, bytes_per_node: float, link: NetworkLink = INFINIBAND_EDR
 ) -> float:
+    """AllGather (tree) seconds on ``link`` — convenience wrapper."""
     return CollectiveCostModel(link).allgather_tree(num_nodes, bytes_per_node)
 
 
 def allgather_ring_seconds(
     num_nodes: int, bytes_per_node: float, link: NetworkLink = INFINIBAND_EDR
 ) -> float:
+    """AllGather (ring) seconds on ``link`` — convenience wrapper."""
     return CollectiveCostModel(link).allgather_ring(num_nodes, bytes_per_node)
 
 
 def allgather_naive_seconds(
     num_nodes: int, bytes_per_node: float, link: NetworkLink = INFINIBAND_EDR
 ) -> float:
+    """AllGather (naive) seconds on ``link`` — convenience wrapper."""
     return CollectiveCostModel(link).allgather_naive(num_nodes, bytes_per_node)
 
 

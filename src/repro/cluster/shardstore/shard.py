@@ -41,7 +41,7 @@ class _TableBlock:
         self.dim = dim
         self.capacity = capacity
         self.slots = IdSlotTable(capacity)
-        self.rows = np.zeros((capacity, dim))
+        self.rows = np.zeros((capacity, dim), dtype=np.float64)
         self.row_version = np.zeros(capacity, dtype=np.int64)
         # Append-only (version, id) log, sorted by version by construction.
         self._log_versions = np.empty(64, dtype=np.int64)
@@ -66,7 +66,7 @@ class _TableBlock:
         """Grow the row width; existing rows zero-pad on the right."""
         if dim <= self.dim:
             return
-        wider = np.zeros((self.capacity, dim))
+        wider = np.zeros((self.capacity, dim), dtype=np.float64)
         wider[:, : self.dim] = self.rows
         self.rows = wider
         self.dim = dim
@@ -76,7 +76,7 @@ class _TableBlock:
         keys = self.slots.keys
         old_slots = self.slots.lookup(keys)
         new_capacity = max(self.capacity * 2, self.slots.size + need)
-        new_rows = np.zeros((new_capacity, self.dim))
+        new_rows = np.zeros((new_capacity, self.dim), dtype=np.float64)
         new_versions = np.zeros(new_capacity, dtype=np.int64)
         new_rows[: keys.size] = self.rows[old_slots]
         new_versions[: keys.size] = self.row_version[old_slots]
@@ -246,7 +246,7 @@ class _TableBlock:
         """
         ids = self.changed_ids(since_version)
         if ids.size == 0:
-            return ids, np.zeros((0, self.dim))
+            return ids, np.zeros((0, self.dim), dtype=np.float64)
         # every logged id is resident by construction
         return ids, self.rows[self.slots.lookup_present(ids)]
 
@@ -254,7 +254,7 @@ class _TableBlock:
         """Point gather; returns ``(found_mask, rows)`` with zeros on miss."""
         slots = self.slots.lookup(ids)
         found = slots >= 0
-        out = np.zeros((ids.size, self.dim))
+        out = np.zeros((ids.size, self.dim), dtype=np.float64)
         out[found] = self.rows[slots[found]]
         return found, out
 
@@ -325,7 +325,7 @@ class ParameterShard:
         if block is None:
             return (
                 np.empty(0, dtype=np.int64),
-                np.zeros((0, 1)),
+                np.zeros((0, 1), dtype=np.float64),
                 np.empty(0, dtype=np.int64),
             )
         return block.drop(ids)
@@ -340,7 +340,7 @@ class ParameterShard:
     ) -> tuple[np.ndarray, np.ndarray]:
         block = self._blocks.get(table)
         if block is None:
-            return np.empty(0, dtype=np.int64), np.zeros((0, 1))
+            return np.empty(0, dtype=np.int64), np.zeros((0, 1), dtype=np.float64)
         ids, rows = block.delta_since(since_version)
         if charge and ids.size:
             self.stats.rows_read += int(ids.size)

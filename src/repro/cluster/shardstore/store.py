@@ -236,7 +236,7 @@ class ShardedParameterStore:
         """
         indices = np.asarray(indices, dtype=np.int64)
         mask = np.zeros(indices.size, dtype=bool)
-        out = np.zeros((indices.size, self.dim_of(table)))
+        out = np.zeros((indices.size, self.dim_of(table)), dtype=np.float64)
         if indices.size == 0:
             return mask, out
         owners = self.placement.shard_of(table, indices)
@@ -282,7 +282,7 @@ class ShardedParameterStore:
         if not parts:
             return (
                 np.empty(0, dtype=np.int64),
-                np.zeros((0, self.dim_of(table))),
+                np.zeros((0, self.dim_of(table)), dtype=np.float64),
                 self.version,
             )
         ids = np.concatenate([p[0] for p in parts])

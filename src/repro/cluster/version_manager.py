@@ -11,9 +11,7 @@ path the fleet's safety net.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from ..dlrm.checkpoint import Checkpoint
 from ..dlrm.model import DLRM

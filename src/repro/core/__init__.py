@@ -34,6 +34,9 @@ import importlib
 
 # Public name -> defining submodule.  Resolved lazily on first access.
 _EXPORTS = {
+    "as_int64_ids": "dtypes",
+    "as_uint64_keys": "dtypes",
+    "as_float64_rows": "dtypes",
     "splitmix64": "kernels",
     "hash_combine": "kernels",
     "stable_str_hash": "kernels",
@@ -73,6 +76,7 @@ _EXPORTS = {
 _SUBMODULES = frozenset(
     {
         "drift",
+        "dtypes",
         "hot_index",
         "kernels",
         "liveupdate",

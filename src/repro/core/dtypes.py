@@ -1,0 +1,140 @@
+"""Checked dtype coercion for ids, routing keys, and row payloads.
+
+The hot-path dtype contract (int64 ids, uint64 routing keys, float64
+rows) is enforced statically by ``repro.analysis``'s ``dtype-discipline``
+rule; this module is the *runtime* half of that contract.  A bare
+``np.asarray(x).astype(np.int64)`` silently accepts float and object
+inputs — a float64 round-trip collapses every integer above ``2**53``
+onto its even neighbour, which for routing keys means two distinct users
+silently share a ring position in some processes and not others.  The
+coercers here accept exactly the integer family and *raise* on anything
+lossy, so the failure is at the call site instead of a week later in a
+placement diff.
+
+This module deliberately lives outside the hot-module list: inspecting
+an input's dtype requires one dtype-less ``np.asarray`` probe, which the
+lint rule would (correctly) refuse anywhere else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_int64_ids", "as_uint64_keys", "as_float64_rows"]
+
+
+def as_int64_ids(values, name: str = "ids") -> np.ndarray:
+    """Coerce ``values`` to an int64 array, rejecting lossy inputs.
+
+    Accepts any integer dtype (and object arrays of Python ints, which
+    preserve values beyond ``2**53`` exactly).  Raises:
+
+    * ``TypeError`` for float/complex/bool/string inputs — a float64
+      detour truncates above ``2**53``; convert explicitly at the edge.
+    * ``OverflowError`` for unsigned values above ``2**63 - 1`` (use
+      :func:`as_uint64_keys` when the bit pattern is what matters).
+
+    Parameters
+    ----------
+    values : array_like
+        Ids; any shape.
+    name : str, optional
+        Label used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray of int64
+        Same shape as ``values``; a view-free copy only when needed.
+    """
+    arr = np.asarray(values)  # dtype inspected below; this is the coercer
+    kind = arr.dtype.kind
+    if kind == "i":
+        return arr if arr.dtype == np.int64 else arr.astype(np.int64)
+    if kind == "u":
+        if arr.size and int(arr.max()) > np.iinfo(np.int64).max:
+            raise OverflowError(
+                f"{name}: unsigned values exceed int64 range; use "
+                "as_uint64_keys for bit-pattern keys"
+            )
+        return arr.astype(np.int64)
+    if kind == "O":
+        # Python ints of any magnitude land here; astype raises
+        # OverflowError past int64, and non-ints raise TypeError.
+        if not all(isinstance(v, (int, np.integer)) for v in arr.flat):
+            raise TypeError(
+                f"{name}: object array must contain only integers"
+            )
+        return arr.astype(np.int64)
+    raise TypeError(
+        f"{name}: expected integer values, got dtype {arr.dtype}; "
+        "float inputs are refused because float64 cannot represent "
+        "integers above 2**53 exactly"
+    )
+
+
+def as_uint64_keys(values, name: str = "keys") -> np.ndarray:
+    """Coerce integers to uint64 bit patterns for the splitmix64 family.
+
+    Signed inputs wrap two's-complement (``-1 -> 2**64 - 1``): hashing
+    cares about the 64-bit pattern, not the signed value, and this is the
+    exact behaviour of the previous unchecked ``astype``.  Float, string
+    and object inputs raise ``TypeError`` — hashing a silently truncated
+    float key is precisely the nondeterminism class this repo has had to
+    fix twice.
+
+    Parameters
+    ----------
+    values : array_like
+        Integer keys; any shape.  Booleans are accepted (0/1 masks are
+        legitimate hash inputs).
+    name : str, optional
+        Label used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray of uint64
+        Same shape as ``values``.
+    """
+    arr = np.asarray(values)  # dtype inspected below; this is the coercer
+    kind = arr.dtype.kind
+    if kind == "u":
+        return arr if arr.dtype == np.uint64 else arr.astype(np.uint64)
+    if kind in ("i", "b"):
+        with np.errstate(over="ignore"):
+            return arr.astype(np.uint64)
+    if kind == "O":
+        ints = as_int64_ids(arr, name=name)
+        with np.errstate(over="ignore"):
+            return ints.astype(np.uint64)
+    raise TypeError(
+        f"{name}: expected integer keys, got dtype {arr.dtype}; refusing "
+        "a lossy float round-trip into the hash"
+    )
+
+
+def as_float64_rows(values, name: str = "rows") -> np.ndarray:
+    """Coerce numeric row payloads to float64, rejecting non-numerics.
+
+    Integer and float inputs upcast exactly; strings/objects raise
+    ``TypeError`` instead of numpy's element-wise best effort.
+
+    Parameters
+    ----------
+    values : array_like
+        Row payloads; any shape.
+    name : str, optional
+        Label used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray of float64
+        Same shape as ``values``.
+    """
+    arr = np.asarray(values)  # dtype inspected below; this is the coercer
+    if arr.dtype == np.float64:
+        return arr
+    if arr.dtype.kind in ("f", "i", "u", "b"):
+        return arr.astype(np.float64)
+    raise TypeError(
+        f"{name}: expected numeric rows, got dtype {arr.dtype}"
+    )

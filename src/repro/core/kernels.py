@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .dtypes import as_uint64_keys
+
 __all__ = [
     "splitmix64",
     "hash_combine",
@@ -68,10 +70,9 @@ def splitmix64(values: np.ndarray, seed: int = 0) -> np.ndarray:
     numpy.ndarray of uint64
         Avalanched hashes, same shape as ``values``.
     """
-    values = np.asarray(values)
     offset = (seed * _GOLDEN + 1) % (1 << 64)
     with np.errstate(over="ignore"):
-        x = values.astype(np.uint64) + np.uint64(offset)
+        x = as_uint64_keys(values) + np.uint64(offset)
         x ^= x >> np.uint64(30)
         x *= _MIX1
         x ^= x >> np.uint64(27)
@@ -98,7 +99,7 @@ def hash_combine(a: np.ndarray, b: np.ndarray, seed: int = 0) -> np.ndarray:
     """
     with np.errstate(over="ignore"):
         mixed = splitmix64(a, seed) ^ (
-            np.asarray(b).astype(np.uint64) * np.uint64(_GOLDEN)
+            as_uint64_keys(b) * np.uint64(_GOLDEN)
         )
     return splitmix64(mixed, seed + 1)
 
@@ -233,7 +234,9 @@ class IdSlotTable:
         if self._dense is not None:
             self._dense[self._keys] = self._vals
         self._free = np.empty(capacity, dtype=np.int64)
-        self._free[: capacity - n] = np.arange(capacity - 1, n - 1, -1)
+        self._free[: capacity - n] = np.arange(
+            capacity - 1, n - 1, -1, dtype=np.int64
+        )
         self._n_free = capacity - n
 
     @classmethod
@@ -429,16 +432,18 @@ def pool_rows(
     offsets = np.asarray(offsets, dtype=np.int64)
     batch = offsets.shape[0] - 1
     if ids.size == 0 or batch == 0:
-        return np.zeros((batch if batch > 0 else 0, source.shape[1]))
+        return np.zeros(
+            (batch if batch > 0 else 0, source.shape[1]), dtype=np.float64
+        )
     sizes = np.diff(offsets)
     starts = offsets[:-1]
     min_size = sizes.min()
     if min_size < 0:
         raise ValueError("offsets must be non-decreasing")
     if min_size > 0:  # every bag written below: skip the zero fill
-        out = np.empty((batch, source.shape[1]))
+        out = np.empty((batch, source.shape[1]), dtype=np.float64)
     else:
-        out = np.zeros((batch, source.shape[1]))
+        out = np.zeros((batch, source.shape[1]), dtype=np.float64)
     for size, bags in _size_classes(sizes):
         bag_starts = starts[bags]
         if size == 1:  # singleton bags: the pool is the row itself
@@ -457,7 +462,7 @@ def pool_rows(
             # (bags, size, d) block reduction keeps the member loop out
             # of Python (the block is no bigger than the class's slice
             # of the id stream).
-            idx = bag_starts[:, None] + np.arange(size)
+            idx = bag_starts[:, None] + np.arange(size, dtype=np.int64)
             acc = source[ids[idx]].sum(axis=1)
         if mode == "mean":
             acc /= size
@@ -488,8 +493,9 @@ def segment_pool(
     numpy.ndarray
         ``(batch, d)`` pooled rows, float64.
     """
-    positions = np.arange(np.asarray(values).shape[0], dtype=np.int64)
-    return pool_rows(np.asarray(values, dtype=np.float64), positions, offsets, mode)
+    vals = np.asarray(values, dtype=np.float64)
+    positions = np.arange(vals.shape[0], dtype=np.int64)
+    return pool_rows(vals, positions, offsets, mode)
 
 
 def group_rows_sum(
@@ -524,7 +530,9 @@ def group_rows_sum(
     ids = np.asarray(ids, dtype=np.int64)
     rows = np.asarray(rows, dtype=np.float64)
     if ids.size == 0:
-        return ids.copy(), np.zeros((0, rows.shape[1] if rows.ndim == 2 else 0))
+        return ids.copy(), np.zeros(
+            (0, rows.shape[1] if rows.ndim == 2 else 0), dtype=np.float64
+        )
     dim = rows.shape[1]
     # Counting lane: bincount beats sorting unless the table is
     # gigantically larger than the batch.
@@ -535,7 +543,7 @@ def group_rows_sum(
         slots -= 1  # id -> compact slot, valid where counts > 0
         # One flat bincount over (slot, dim) keys accumulates every
         # element of every occurrence in a single counting pass.
-        keys = slots[ids][:, None] * dim + np.arange(dim)
+        keys = slots[ids][:, None] * dim + np.arange(dim, dtype=np.int64)
         summed = np.bincount(
             keys.ravel(), weights=rows.ravel(), minlength=uniq.size * dim
         )
@@ -544,7 +552,7 @@ def group_rows_sum(
         ids, return_inverse=True, return_counts=True
     )
     dup_occ = occ_counts[inv] > 1
-    summed = np.zeros((uniq.size, dim))
+    summed = np.zeros((uniq.size, dim), dtype=np.float64)
     single = ~dup_occ
     summed[inv[single]] = rows[single]
     if dup_occ.any():

@@ -17,7 +17,7 @@ reconstructed from Table II plus the datasets' public schemas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -63,7 +63,7 @@ class SparseRowGrad:
 
     def to_dense(self, num_rows: int) -> np.ndarray:
         """Materialise the dense ``(num_rows, d)`` gradient (tests/analysis)."""
-        dense = np.zeros((num_rows, self.rows.shape[1]))
+        dense = np.zeros((num_rows, self.rows.shape[1]), dtype=np.float64)
         dense[self.indices] = self.rows
         return dense
 

@@ -74,12 +74,12 @@ class RowwiseAdagrad:
     def _rows_for(self, table: EmbeddingTable) -> np.ndarray:
         state = self._row_state.get(table)
         if state is None:
-            state = np.zeros(table.num_rows)
+            state = np.zeros(table.num_rows, dtype=np.float64)
             self._row_state[table] = state
         elif state.shape[0] != table.num_rows:
             # The table was resized in place (vocabulary growth): carry the
             # overlapping accumulator history instead of restarting it.
-            grown = np.zeros(table.num_rows)
+            grown = np.zeros(table.num_rows, dtype=np.float64)
             keep = min(state.shape[0], table.num_rows)
             grown[:keep] = state[:keep]
             state = grown

@@ -23,12 +23,14 @@ __all__ = [
 
 
 def no_update(trainer: TrainingCluster, node: InferenceNode) -> UpdateStrategy:
+    """Stale baseline: the Day-1 checkpoint serves unchanged."""
     return NoUpdate()
 
 
 def delta_update(
     trainer: TrainingCluster, node: InferenceNode
 ) -> UpdateStrategy:
+    """Full periodic delta shipping (the paper's DeltaUpdate baseline)."""
     return DeltaUpdate(trainer, node)
 
 

@@ -17,7 +17,6 @@ import numpy as np
 from ..data.synthetic import DriftingCTRStream
 from ..data.zipf import access_cdf
 from ..dlrm.metrics import auc_roc
-from ..dlrm.model import DLRM
 from ..dlrm.optim import RowwiseAdagrad
 from .accuracy import AccuracyConfig, build_pretrained_world
 

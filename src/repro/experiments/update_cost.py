@@ -18,7 +18,7 @@ about 10% of rows change in 10 minutes, approaching ~35% for long windows.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..cluster.network import GBE_100, NetworkLink
 from ..cluster.timeline import UpdateTimeline, simulate_periodic_updates

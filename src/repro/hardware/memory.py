@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 __all__ = ["MemoryTraffic", "MemoryBandwidthModel"]
 

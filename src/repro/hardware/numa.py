@@ -10,7 +10,7 @@ training cap so the trainer can never saturate memory bandwidth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from .topology import NodeTopology

@@ -9,7 +9,7 @@ NUMA-aware scheduler (Algorithm 2) needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["CCD", "Socket", "NodeTopology", "EPYC_9684X_DUAL"]
 

@@ -18,7 +18,7 @@ irregular traffic is large enough to thrash a shared cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.dtypes import as_uint64_keys
 from ..core.kernels import hash_combine, splitmix64
 
 __all__ = ["RouterStats", "ConsistentHashRouter"]
@@ -92,7 +93,13 @@ class ConsistentHashRouter:
         }
 
     def _key_hashes(self, routing_keys: np.ndarray) -> np.ndarray:
-        keys = np.asarray(routing_keys).astype(np.int64)
+        # Checked coercion: the old bare `.astype(np.int64)` accepted
+        # float keys, and a float64 detour collapses every integer above
+        # 2**53 onto its even neighbour — two distinct users silently
+        # sharing a ring position.  Floats now raise; integer keys keep
+        # their exact 64-bit pattern (uint64 included, wrap-identical to
+        # the previous int64 round-trip).
+        keys = as_uint64_keys(routing_keys, name="routing_keys")
         return splitmix64(keys, _KEY_SEED) % np.uint64(1 << 32)
 
     def _ring_indices(self, routing_keys: np.ndarray) -> np.ndarray:

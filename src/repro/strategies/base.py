@@ -19,7 +19,7 @@ touched — the raw numbers behind Fig. 14.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..data.synthetic import Batch
 

@@ -1,0 +1,538 @@
+"""Self-tests for the ``repro.analysis`` invariant linter.
+
+Every rule gets a fixture pair — a snippet that must fire and a clean
+snippet that must not — plus suppression-comment handling, the JSON
+reporter schema, CLI exit codes, and the self-gate: the linter must
+report zero errors over this repository, with no suppressions inside
+``repro.core.kernels`` or ``repro.cluster.shardstore``.
+"""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    FileContext,
+    JSON_SCHEMA_VERSION,
+    LintConfig,
+    lint_context,
+    lint_paths,
+    module_name_for,
+    render_json,
+    render_text,
+    rule_names,
+)
+from repro.analysis.cli import main as cli_main
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+HOT_PATH = "src/repro/core/kernels.py"  # in the hot-module scope
+PLACEMENT_PATH = "src/repro/cluster/shardstore/placement.py"
+SIM_PATH = "src/repro/data/zipf.py"  # src, but not hot/placement
+
+
+def findings_for(source, path, rule=None, config=None):
+    """Lint a dedented snippet as if it lived at ``path``."""
+    ctx = FileContext.from_source(textwrap.dedent(source), path)
+    found = lint_context(ctx, config or LintConfig())
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+def active(findings):
+    return [f for f in findings if not f.suppressed]
+
+
+# ----------------------------------------------------------- rule registry
+def test_all_six_rules_registered():
+    assert rule_names() == [
+        "no-salted-hash",
+        "no-unseeded-rng",
+        "no-wallclock-in-sim",
+        "hot-loop",
+        "dtype-discipline",
+        "public-api",
+    ]
+
+
+def test_module_name_mapping():
+    assert module_name_for("src/repro/core/kernels.py") == "repro.core.kernels"
+    assert (
+        module_name_for("/abs/src/repro/cluster/shardstore/__init__.py")
+        == "repro.cluster.shardstore"
+    )
+    assert module_name_for("tests/test_docs.py") == "tests.test_docs"
+    assert module_name_for("benchmarks/bench_x.py") == "benchmarks.bench_x"
+
+
+# --------------------------------------------------------- no-salted-hash
+class TestNoSaltedHash:
+    def test_fires_on_builtin_hash_in_placement_module(self):
+        src = """
+            def shard_of(key, n):
+                return hash(key) % n
+        """
+        found = findings_for(src, PLACEMENT_PATH, "no-salted-hash")
+        assert len(found) == 1
+        assert "splitmix64" in found[0].message
+
+    def test_clean_with_stable_hash_family(self):
+        src = """
+            from repro.core.kernels import splitmix64
+
+            def shard_of(keys, n):
+                return splitmix64(keys) % n
+        """
+        assert not findings_for(src, PLACEMENT_PATH, "no-salted-hash")
+
+    def test_out_of_scope_module_not_checked(self):
+        src = "x = hash('anything')\n"
+        assert not findings_for(src, SIM_PATH, "no-salted-hash")
+
+
+# -------------------------------------------------------- no-unseeded-rng
+class TestNoUnseededRng:
+    def test_fires_on_bare_np_random(self):
+        src = """
+            import numpy as np
+            noise = np.random.rand(100)
+        """
+        found = findings_for(src, SIM_PATH, "no-unseeded-rng")
+        assert len(found) == 1
+
+    def test_fires_on_unseeded_default_rng(self):
+        src = """
+            import numpy as np
+            rng = np.random.default_rng()
+        """
+        assert findings_for(src, SIM_PATH, "no-unseeded-rng")
+
+    def test_fires_on_stdlib_random(self):
+        src = """
+            import random
+            x = random.random()
+        """
+        assert findings_for(src, SIM_PATH, "no-unseeded-rng")
+        src = """
+            from random import randint
+            x = randint(0, 5)
+        """
+        assert findings_for(src, SIM_PATH, "no-unseeded-rng")
+
+    def test_clean_with_seeded_generator(self):
+        src = """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            noise = rng.random(100)
+
+            def sample(rng: np.random.Generator):
+                return rng.integers(0, 10, 5)
+        """
+        assert not findings_for(src, SIM_PATH, "no-unseeded-rng")
+
+
+# ---------------------------------------------------- no-wallclock-in-sim
+class TestNoWallclockInSim:
+    def test_fires_on_time_time(self):
+        src = """
+            import time
+            stamp = time.time()
+        """
+        assert findings_for(src, SIM_PATH, "no-wallclock-in-sim")
+
+    def test_fires_on_datetime_now_via_from_import(self):
+        src = """
+            from datetime import datetime
+            stamp = datetime.now()
+        """
+        assert findings_for(src, SIM_PATH, "no-wallclock-in-sim")
+
+    def test_perf_counter_is_allowed(self):
+        src = """
+            import time
+            t0 = time.perf_counter()
+        """
+        assert not findings_for(src, SIM_PATH, "no-wallclock-in-sim")
+
+    def test_benchmarks_may_read_the_clock(self):
+        src = """
+            import time
+            t0 = time.time()
+        """
+        assert not findings_for(
+            src, "benchmarks/bench_x.py", "no-wallclock-in-sim"
+        )
+
+
+# ----------------------------------------------------------------- hot-loop
+class TestHotLoop:
+    def test_fires_on_tolist_loop(self):
+        src = """
+            def drain(arr):
+                total = 0
+                for value in arr.tolist():
+                    total += value
+                return total
+        """
+        found = findings_for(src, HOT_PATH, "hot-loop")
+        assert len(found) == 1
+
+    def test_fires_on_range_len_and_range_size(self):
+        src = """
+            def scan(arr):
+                for i in range(len(arr)):
+                    arr[i] += 1
+                for i in range(arr.size):
+                    arr[i] += 1
+        """
+        assert len(findings_for(src, HOT_PATH, "hot-loop")) == 2
+
+    def test_fires_inside_zip_enumerate(self):
+        src = """
+            def pairs(a, b):
+                for x, y in zip(a.tolist(), b.tolist()):
+                    yield x + y
+        """
+        assert findings_for(src, HOT_PATH, "hot-loop")
+
+    def test_chunked_and_structural_loops_are_clean(self):
+        src = """
+            def chunked(arr, n, chunk):
+                for lo in range(0, n, chunk):
+                    arr[lo : lo + chunk] += 1
+
+            def classes(groups):
+                for size, members in groups.items():
+                    yield size, members
+        """
+        assert not findings_for(src, HOT_PATH, "hot-loop")
+
+    def test_cold_modules_may_loop(self):
+        src = """
+            def fine(arr):
+                return [x + 1 for x in arr.tolist()]
+
+            def also_fine(arr):
+                out = 0
+                for x in arr.tolist():
+                    out += x
+                return out
+        """
+        assert not findings_for(src, SIM_PATH, "hot-loop")
+
+
+# ---------------------------------------------------------- dtype-discipline
+class TestDtypeDiscipline:
+    def test_fires_on_dtypeless_constructors(self):
+        src = """
+            import numpy as np
+
+            def build(x):
+                a = np.zeros(4)
+                b = np.arange(10)
+                c = np.asarray(x)
+                return a, b, c
+        """
+        found = findings_for(src, HOT_PATH, "dtype-discipline")
+        assert len(found) == 3
+
+    def test_clean_with_explicit_dtype(self):
+        src = """
+            import numpy as np
+
+            def build(x):
+                a = np.zeros(4, dtype=np.float64)
+                b = np.arange(10, dtype=np.int64)
+                c = np.asarray(x, dtype=np.int64)
+                d = np.empty_like(a)
+                return a, b, c, d
+        """
+        assert not findings_for(src, HOT_PATH, "dtype-discipline")
+
+    def test_cold_modules_unconstrained(self):
+        src = """
+            import numpy as np
+            probe = np.zeros(3)
+        """
+        assert not findings_for(src, SIM_PATH, "dtype-discipline")
+
+
+# ---------------------------------------------------------------- public-api
+class TestPublicApi:
+    def test_fires_on_missing_docstring_and_all(self):
+        src = "X = 1\n"
+        found = findings_for(src, "src/repro/newmod.py", "public-api")
+        messages = " | ".join(f.message for f in found)
+        assert "docstring" in messages
+        assert "__all__" in messages
+
+    def test_fires_on_unbound_and_undocumented_names(self):
+        src = '''
+            """Module docstring."""
+
+            __all__ = ["present", "ghost"]
+
+
+            def present():
+                return 1
+        '''
+        found = findings_for(src, "src/repro/newmod.py", "public-api")
+        messages = " | ".join(f.message for f in found)
+        assert "'ghost'" in messages and "never binds" in messages
+        assert "'present'" in messages and "no docstring" in messages
+
+    def test_clean_module_passes(self):
+        src = '''
+            """Module docstring."""
+
+            __all__ = ["CONSTANT", "helper"]
+
+            CONSTANT = 7
+
+
+            def helper():
+                """Documented."""
+                return CONSTANT
+        '''
+        assert not findings_for(src, "src/repro/newmod.py", "public-api")
+
+    def test_lazy_export_dict_pattern_resolves(self):
+        src = '''
+            """Lazy package facade."""
+
+            _EXPORTS = {"alpha": "mod_a", "beta": "mod_b"}
+
+            __all__ = list(_EXPORTS)
+
+
+            def __getattr__(name):
+                """PEP 562 lazy loader."""
+                raise AttributeError(name)
+        '''
+        assert not findings_for(
+            src, "src/repro/pkg/__init__.py", "public-api"
+        )
+
+    def test_private_and_non_src_modules_skipped(self):
+        src = "X = 1\n"
+        assert not findings_for(src, "src/repro/_private.py", "public-api")
+        assert not findings_for(src, "tests/test_thing.py", "public-api")
+
+
+# -------------------------------------------------------------- suppressions
+class TestSuppressions:
+    def test_trailing_disable_suppresses(self):
+        src = """
+            import numpy as np
+            probe = np.zeros(4)  # repro-lint: disable=dtype-discipline
+        """
+        found = findings_for(src, HOT_PATH, "dtype-discipline")
+        assert len(found) == 1 and found[0].suppressed
+
+    def test_disable_on_line_above_suppresses(self):
+        src = """
+            import numpy as np
+            # repro-lint: disable=dtype-discipline
+            probe = np.zeros(4)
+        """
+        found = findings_for(src, HOT_PATH, "dtype-discipline")
+        assert len(found) == 1 and found[0].suppressed
+
+    def test_wrong_rule_name_does_not_suppress(self):
+        src = """
+            import numpy as np
+            probe = np.zeros(4)  # repro-lint: disable=hot-loop
+        """
+        found = findings_for(src, HOT_PATH, "dtype-discipline")
+        assert active(found)
+
+    def test_disable_all_suppresses_everything(self):
+        src = '''
+            """Doc."""
+
+            import numpy as np
+
+            __all__ = []
+
+            probe = np.zeros(4)  # repro-lint: disable=all
+        '''
+        assert not active(findings_for(src, HOT_PATH))
+
+    def test_hot_loop_suppression_requires_reason(self):
+        bare = """
+            def drain(arr):
+                # repro-lint: disable=hot-loop
+                for value in arr.tolist():
+                    print(value)
+        """
+        found = findings_for(bare, HOT_PATH, "hot-loop")
+        assert active(found), "reasonless disable must not silence hot-loop"
+        assert "needs a reason" in found[0].message
+
+        reasoned = """
+            def drain(arr):
+                # repro-lint: disable=hot-loop -- sequential fallback, O(evictions) not O(batch)
+                for value in arr.tolist():
+                    print(value)
+        """
+        found = findings_for(reasoned, HOT_PATH, "hot-loop")
+        assert len(found) == 1 and found[0].suppressed
+        assert "sequential fallback" in found[0].suppress_reason
+
+    def test_reason_survives_into_reports(self):
+        src = """
+            import numpy as np
+            probe = np.zeros(4)  # repro-lint: disable=dtype-discipline -- scratch probe
+        """
+        found = findings_for(src, HOT_PATH, "dtype-discipline")
+        assert found[0].suppress_reason == "scratch probe"
+
+
+# ------------------------------------------------------------- JSON reporter
+class TestJsonReporter:
+    def test_schema(self, tmp_path):
+        dirty = tmp_path / "src" / "repro" / "core" / "kernels.py"
+        dirty.parent.mkdir(parents=True)
+        dirty.write_text(
+            '"""Doc."""\n\n__all__ = []\n\nimport numpy as np\n\nx = np.zeros(3)\n'
+        )
+        result = lint_paths([tmp_path / "src"])
+        payload = json.loads(render_json(result))
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["files_scanned"] == 1
+        assert set(payload["summary"]) == {"errors", "warnings", "suppressed"}
+        assert payload["summary"]["errors"] == len(payload["findings"]) > 0
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule",
+                "path",
+                "line",
+                "col",
+                "severity",
+                "message",
+                "suppressed",
+                "suppress_reason",
+            }
+
+    def test_text_reporter_mentions_counts(self):
+        result = lint_paths([])
+        assert "0 error(s)" in render_text(result)
+
+
+# ------------------------------------------------------------------- the CLI
+class TestCli:
+    def _write(self, tmp_path, rel, body):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body))
+        return path
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        self._write(
+            tmp_path,
+            "src/repro/clean.py",
+            '''
+            """Clean module."""
+
+            __all__ = ["X"]
+
+            X = 1
+            ''',
+        )
+        assert cli_main([str(tmp_path / "src")]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_violation(self, tmp_path, capsys):
+        self._write(
+            tmp_path,
+            "src/repro/core/kernels.py",
+            '''
+            """Hot module."""
+
+            import numpy as np
+
+            __all__ = []
+
+            x = np.zeros(3)
+            ''',
+        )
+        assert cli_main([str(tmp_path)]) == 1
+        assert "dtype-discipline" in capsys.readouterr().out
+
+    def test_exit_one_on_syntax_error(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/broken.py", "def f(:\n")
+        assert cli_main([str(tmp_path)]) == 1
+        assert "syntax-error" in capsys.readouterr().out
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/x.py", '"""D."""\n\n__all__ = []\n')
+        assert cli_main(["--select", "no-such-rule", str(tmp_path)]) == 2
+
+    def test_exit_two_on_missing_path(self, capsys):
+        assert cli_main([str(REPO / "no" / "such" / "dir")]) == 2
+
+    def test_exit_two_on_no_paths(self, capsys):
+        assert cli_main([]) == 2
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in rule_names():
+            assert name in out
+
+    def test_select_runs_only_selected(self, tmp_path, capsys):
+        self._write(
+            tmp_path,
+            "src/repro/core/kernels.py",
+            '''
+            """Hot module."""
+
+            import numpy as np
+
+            __all__ = []
+
+            x = np.zeros(3)
+
+            for v in x.tolist():
+                pass
+            ''',
+        )
+        assert cli_main(["--select", "hot-loop", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "hot-loop" in out and "dtype-discipline" not in out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/y.py", '"""D."""\n\n__all__ = []\n')
+        assert cli_main(["--format", "json", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+
+
+# ------------------------------------------------------------- the self-gate
+class TestRepoIsClean:
+    """The acceptance gate: this repository lints clean, always."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return lint_paths(
+            [REPO / "src", REPO / "tests", REPO / "benchmarks", REPO / "examples"]
+        )
+
+    def test_zero_errors(self, result):
+        assert result.errors == [], render_text(result)
+
+    def test_no_suppressions_in_kernels_or_shardstore(self, result):
+        banned = [
+            f
+            for f in result.suppressed
+            if "core/kernels.py" in f.path.replace("\\", "/")
+            or "cluster/shardstore/" in f.path.replace("\\", "/")
+        ]
+        assert banned == [], [f"{f.path}:{f.line}" for f in banned]
+
+    def test_every_suppression_carries_a_reason(self, result):
+        missing = [f for f in result.suppressed if not f.suppress_reason]
+        assert missing == [], [f"{f.path}:{f.line}" for f in missing]

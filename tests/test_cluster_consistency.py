@@ -1,13 +1,12 @@
 """Tests for fleet replica-consistency checking."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.consistency import (
     check_prediction_consistency,
     parameter_divergence,
 )
-from repro.data.synthetic import Batch, DriftingCTRStream, StreamConfig
+from repro.data.synthetic import DriftingCTRStream, StreamConfig
 from repro.dlrm.model import DLRM, DLRMConfig
 from repro.dlrm.optim import SGD
 

@@ -10,7 +10,7 @@ from repro.cluster.collectives import (
     allgather_tree_seconds,
     fit_log_trend,
 )
-from repro.cluster.network import GBE_100, INFINIBAND_EDR, NetworkLink
+from repro.cluster.network import GBE_100, INFINIBAND_EDR
 
 TB = 1024 ** 4
 GB = 1024 ** 3

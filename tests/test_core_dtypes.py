@@ -1,0 +1,84 @@
+"""Tests for the checked dtype coercers in ``repro.core.dtypes``.
+
+These are the runtime half of the ``dtype-discipline`` lint rule: exact
+integer coercion with loud failures on lossy inputs, pinned especially
+around the float64 2**53 precision cliff.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dtypes import as_float64_rows, as_int64_ids, as_uint64_keys
+from repro.core.kernels import splitmix64
+
+
+class TestAsInt64Ids:
+    def test_int64_passthrough_is_no_copy(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        assert as_int64_ids(arr) is arr
+
+    def test_smaller_ints_upcast(self):
+        out = as_int64_ids(np.array([1, 2], dtype=np.int32))
+        assert out.dtype == np.int64
+
+    def test_python_ints_beyond_2_53_exact(self):
+        big = 2**53
+        out = as_int64_ids([big, big + 1])
+        assert out.tolist() == [big, big + 1]
+
+    def test_object_ints_exact(self):
+        out = as_int64_ids(np.array([2**60, 5], dtype=object))
+        assert out.tolist() == [2**60, 5]
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError, match="2\\*\\*53"):
+            as_int64_ids(np.array([1.0, 2.0]))
+
+    def test_object_float_rejected(self):
+        with pytest.raises(TypeError):
+            as_int64_ids(np.array([1, 2.5], dtype=object))
+
+    def test_uint64_above_int64_max_overflows(self):
+        with pytest.raises(OverflowError):
+            as_int64_ids(np.array([2**63], dtype=np.uint64))
+
+    def test_uint64_in_range_accepted(self):
+        out = as_int64_ids(np.array([1, 2**62], dtype=np.uint64))
+        assert out.dtype == np.int64 and out.tolist() == [1, 2**62]
+
+
+class TestAsUint64Keys:
+    def test_uint64_passthrough_is_no_copy(self):
+        arr = np.array([1, 2**63], dtype=np.uint64)
+        assert as_uint64_keys(arr) is arr
+
+    def test_negative_ints_wrap_twos_complement(self):
+        out = as_uint64_keys(np.array([-1], dtype=np.int64))
+        assert out.tolist() == [2**64 - 1]
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError, match="keys"):
+            as_uint64_keys(np.array([0.5]))
+
+    def test_splitmix64_accepts_any_int_family(self):
+        signed = np.array([-5, 7], dtype=np.int64)
+        unsigned = signed.astype(np.uint64)
+        np.testing.assert_array_equal(splitmix64(signed), splitmix64(unsigned))
+
+    def test_splitmix64_rejects_floats(self):
+        with pytest.raises(TypeError):
+            splitmix64(np.array([1.5, 2.5]))
+
+
+class TestAsFloat64Rows:
+    def test_float64_passthrough_is_no_copy(self):
+        arr = np.zeros((2, 3), dtype=np.float64)
+        assert as_float64_rows(arr) is arr
+
+    def test_ints_upcast_exactly(self):
+        out = as_float64_rows(np.array([[1, 2]], dtype=np.int32))
+        assert out.dtype == np.float64 and out.tolist() == [[1.0, 2.0]]
+
+    def test_strings_rejected(self):
+        with pytest.raises(TypeError):
+            as_float64_rows(np.array([["a"]]))

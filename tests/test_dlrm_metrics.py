@@ -29,8 +29,9 @@ class TestAUC:
         assert auc_roc(labels, scores) == pytest.approx(0.5)
 
     def test_single_class_is_nan(self):
-        assert np.isnan(auc_roc(np.ones(5), np.random.rand(5)))
-        assert np.isnan(auc_roc(np.zeros(5), np.random.rand(5)))
+        rng = np.random.default_rng(7)
+        assert np.isnan(auc_roc(np.ones(5), rng.random(5)))
+        assert np.isnan(auc_roc(np.zeros(5), rng.random(5)))
 
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):

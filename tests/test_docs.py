@@ -18,6 +18,7 @@ DOC_FILES = [
     REPO / "README.md",
     REPO / "docs" / "architecture.md",
     REPO / "docs" / "benchmarks.md",
+    REPO / "docs" / "lint.md",
 ]
 
 

@@ -1,6 +1,5 @@
 """Tests for utilization, low-rank, memory, and scalability experiments."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.accuracy import AccuracyConfig

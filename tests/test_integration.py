@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.nodes import InferenceNode, TrainingCluster
+from repro.cluster.nodes import InferenceNode
 from repro.cluster.parameter_server import ParameterServer
 from repro.core.liveupdate import LiveUpdate, LiveUpdateConfig
 from repro.core.trainer import TrainerConfig

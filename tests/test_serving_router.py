@@ -160,3 +160,54 @@ class TestRemapStability:
         a = ConsistentHashRouter([0, 1, 2], seed=2)
         b = ConsistentHashRouter([0, 1, 2], seed=2)
         assert a.remap_fraction(b, keys[:500]) == 0.0
+
+
+class TestCheckedKeyCoercion:
+    """Routing keys coerce through a checked dtype (no silent float paths).
+
+    Regression for the bare ``np.asarray(...).astype(np.int64)`` that
+    silently accepted float and object inputs: float64 cannot represent
+    integers above 2**53, so float-typed keys collapsed neighbouring ids
+    onto one ring position.
+    """
+
+    def test_float_keys_raise(self):
+        router = ConsistentHashRouter([0, 1, 2])
+        with pytest.raises(TypeError, match="routing_keys"):
+            router.route(np.array([1.0, 2.0]))
+        with pytest.raises(TypeError, match="routing_keys"):
+            router.route([0.5, 1.5])
+
+    def test_python_ints_beyond_2_53_are_exact(self):
+        router = ConsistentHashRouter([0, 1, 2, 3], virtual_nodes=128)
+        big = 2**53
+        # a float64 round-trip maps 2**53 + 1 onto 2**53; the checked
+        # int path must keep them distinct hash inputs
+        hashes = router._key_hashes([big, big + 1, big + 2, big + 3])
+        assert len(set(hashes.tolist())) == 4
+        # and plain Python ints route identically to an int64 array
+        via_list = router.assign([big + 1, big + 3])
+        via_array = router.assign(np.array([big + 1, big + 3], dtype=np.int64))
+        np.testing.assert_array_equal(via_list, via_array)
+
+    def test_uint64_keys_keep_bit_pattern(self):
+        router = ConsistentHashRouter([0, 1, 2])
+        high = np.array([2**63 + 5, 2**64 - 1], dtype=np.uint64)
+        # wrap-identical to the historical int64 round-trip
+        as_signed = high.astype(np.int64)
+        np.testing.assert_array_equal(
+            router._key_hashes(high), router._key_hashes(as_signed)
+        )
+
+    def test_object_int_keys_are_accepted(self):
+        router = ConsistentHashRouter([0, 1])
+        obj = np.array([7, 2**60], dtype=object)
+        exact = np.array([7, 2**60], dtype=np.int64)
+        np.testing.assert_array_equal(
+            router._key_hashes(obj), router._key_hashes(exact)
+        )
+
+    def test_object_float_keys_raise(self):
+        router = ConsistentHashRouter([0, 1])
+        with pytest.raises(TypeError):
+            router.route(np.array([1.5, 2], dtype=object))
