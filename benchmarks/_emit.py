@@ -1,0 +1,100 @@
+"""Shared benchmark result emitter: every CI-gated bench writes one file.
+
+Each gated benchmark calls :func:`emit_bench_result` at the end of its
+``main()`` and a ``BENCH_<name>.json`` file appears in the working
+directory (or ``$REPRO_BENCH_DIR`` when set), carrying the numbers the
+gate was judged on plus the git revision they were measured at.  The
+schema is deliberately flat so CI can archive the files as artifacts and
+trend them across commits:
+
+``schema_version``
+    integer, bumped only on breaking layout changes.
+``name``
+    the benchmark's short name (also the filename suffix).
+``shape``
+    a string describing the workload shape (ids/batch, rows, bag sizes).
+``ids_per_sec``
+    throughput of the engine under test, in its natural unit.
+``speedup``
+    the gated ratio vs the seed reference (``null`` for absolute benches).
+``p99_ms``
+    tail latency when the bench measures one (``null`` otherwise).
+``git_rev``
+    short commit hash, or ``"unknown"`` outside a git checkout.
+
+The emitter never raises on environmental problems (missing git binary,
+detached tree): benchmark numbers still print and gates still gate; only
+the provenance field degrades.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+
+__all__ = ["BENCH_SCHEMA_VERSION", "emit_bench_result"]
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_rev() -> str:
+    """Short commit hash of the tree being benchmarked, or ``unknown``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def emit_bench_result(
+    name: str,
+    shape: str,
+    ids_per_sec: float,
+    speedup: float | None = None,
+    p99_ms: float | None = None,
+    extra: dict | None = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    Args:
+        name: short benchmark name; becomes the filename suffix, so keep
+            it ``[a-z0-9_]``.
+        shape: human-readable workload shape the numbers were taken at.
+        ids_per_sec: headline throughput of the engine under test.
+        speedup: gated ratio vs the seed reference, if the bench has one.
+        p99_ms: tail latency in milliseconds, if the bench measures one.
+        extra: additional flat key/value pairs merged into the payload
+            (reserved keys cannot be overridden).
+
+    The output directory is ``$REPRO_BENCH_DIR`` when set (created if
+    missing), else the current working directory.
+    """
+    payload: dict[str, object] = {}
+    if extra:
+        payload.update(extra)
+    payload.update(
+        {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "name": str(name),
+            "shape": str(shape),
+            "ids_per_sec": float(ids_per_sec),
+            "speedup": None if speedup is None else float(speedup),
+            "p99_ms": None if p99_ms is None else float(p99_ms),
+            "git_rev": _git_rev(),
+        }
+    )
+    out_dir = os.environ.get("REPRO_BENCH_DIR") or os.getcwd()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

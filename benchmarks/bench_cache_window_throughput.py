@@ -242,6 +242,16 @@ def main(argv: list[str] | None = None) -> int:
         f"exact lru: {t_seed / t_lru:.1f}x"
     )
 
+    from _emit import emit_bench_result  # sibling module; script dir is on sys.path
+
+    emit_bench_result(
+        "cache_window",
+        shape=f"{args.accesses} accesses/window, {args.rows} rows",
+        ids_per_sec=total_keys / t_itv,
+        speedup=speedup,
+        extra={"speedup_exact_lru": t_seed / t_lru, "window_seconds": t_itv},
+    )
+
     if args.check_speedup is not None:
         if speedup < args.check_speedup:
             print(

@@ -237,6 +237,7 @@ def main(argv: list[str] | None = None) -> int:
     header = f"{'bag shape':<16} {'bags':>7} {'seed loop':>12} {'vectorized':>12} {'speedup':>9}"
     print(header)
     gated_speedup = None
+    gated_throughput = None
     for mean_bag, max_bag in shapes:
         n_ids, n_bags, ref, vec = bench_shape(
             args.ids, args.rows, args.dim, mean_bag, max_bag, args.repeats, rng
@@ -246,6 +247,20 @@ def main(argv: list[str] | None = None) -> int:
             gated_speedup = speedup
         label = f"mean {mean_bag} max {max_bag}"
         print(f"{label:<16} {n_bags:>7,} {ref:>12,.0f} {vec:>12,.0f} {speedup:>8.1f}x")
+        if gated_throughput is None:
+            gated_throughput = vec
+
+    from _emit import emit_bench_result  # sibling module; script dir is on sys.path
+
+    emit_bench_result(
+        "dlrm_train",
+        shape=(
+            f"{args.ids} ids/batch, {args.rows}x{args.dim} table, "
+            f"mean bag {args.mean_bag}"
+        ),
+        ids_per_sec=gated_throughput,
+        speedup=gated_speedup,
+    )
 
     if args.check_speedup is not None:
         if gated_speedup < args.check_speedup:

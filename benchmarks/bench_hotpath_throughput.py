@@ -157,6 +157,16 @@ def main(argv: list[str] | None = None) -> int:
     for name, ref, vec, speedup in rows:
         print(f"{name:<18} {ref:>14,.0f} {vec:>14,.0f} {speedup:>8.1f}x")
 
+    from _emit import emit_bench_result  # sibling module; script dir is on sys.path
+
+    emit_bench_result(
+        "hotpath",
+        shape=f"{args.ids} ids/batch",
+        ids_per_sec=rows[0][2],
+        speedup=min(s for name, _, _, s in rows if name != "router route"),
+        extra={f"speedup_{n.split()[0].replace('-', '_')}": s for n, _, _, s in rows},
+    )
+
     if args.check_speedup is not None:
         gated = {name: s for name, _, _, s in rows if name != "router route"}
         failing = {n: s for n, s in gated.items() if s < args.check_speedup}

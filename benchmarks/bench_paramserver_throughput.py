@@ -155,6 +155,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{speedups[key]:>8.1f}x"
         )
 
+    from _emit import emit_bench_result  # sibling module; script dir is on sys.path
+
+    emit_bench_result(
+        "paramserver",
+        shape=f"{args.rows} rows, {delta_rows}-row deltas, {args.shards} shards",
+        ids_per_sec=vec["pull_rows_per_s"],
+        speedup=speedups["pull_rows_per_s"],
+        extra={f"speedup_{k.split('_')[0]}": v for k, v in speedups.items()},
+    )
+
     if args.check_speedup is not None:
         if speedups["pull_rows_per_s"] < args.check_speedup:
             print(

@@ -12,6 +12,8 @@ Subpackages:
   rank adaptation, usage-based pruning, the inference-side trainer, sparse
   data-parallel sync, and the tiered update strategy.
 * :mod:`repro.serving` — the co-located node simulator and QoS monitoring.
+* :mod:`repro.obs` — the telemetry plane: metrics registry, sim-clock
+  tracer, flight recorder, Prometheus/JSON exporters.
 * :mod:`repro.experiments` — drivers for every paper figure and table.
 """
 

@@ -32,6 +32,7 @@ HOT_MODULES: tuple[str, ...] = (
     "repro.cluster.shardstore.*",
     "repro.dlrm.embedding",
     "repro.dlrm.optim",
+    "repro.obs.metrics",
 )
 
 # Modules whose decisions must be byte-identical across processes:

@@ -1,4 +1,4 @@
-"""The six repo-specific invariant rules.
+"""The seven repo-specific invariant rules.
 
 Each rule machine-checks an invariant this repo has already paid to learn
 (see ``docs/lint.md`` for the incident history behind every rule):
@@ -17,6 +17,10 @@ Each rule machine-checks an invariant this repo has already paid to learn
   dtype explicitly (int64 ids, uint64 routing keys, float64 rows).
 * ``public-api`` — public modules carry a docstring and a statically
   resolvable ``__all__`` whose names exist and are documented.
+* ``obs-discipline`` — metric/span names are lowercase dotted string
+  literals (registry lookups stay cacheable) and hot modules feed
+  telemetry through the batched APIs only, never per-item ``observe``
+  or ``inc`` inside a loop.
 
 Rules are syntactic: they see one file's AST, never import the code.
 """
@@ -24,6 +28,8 @@ Rules are syntactic: they see one file's AST, never import the code.
 from __future__ import annotations
 
 import ast
+import fnmatch
+import re
 from typing import Iterator
 
 from .config import DTYPE_CONSTRUCTORS, LintConfig
@@ -37,6 +43,7 @@ __all__ = [
     "HotLoopRule",
     "DtypeDisciplineRule",
     "PublicApiRule",
+    "ObsDisciplineRule",
 ]
 
 _WALLCLOCK_CALLS = frozenset(
@@ -293,6 +300,87 @@ class PublicApiRule(Rule):
                     assign_node,
                     f"public name {name!r} in __all__ has no docstring",
                 )
+
+
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram", "span"})
+_PER_ITEM_OBS = frozenset({"observe", "inc"})
+_METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+
+@register
+class ObsDisciplineRule(Rule):
+    """Telemetry discipline: literal dotted names, batched hot-path APIs."""
+
+    name = "obs-discipline"
+    description = (
+        "metric/span names must be lowercase dotted string literals, and "
+        "hot modules must use batched telemetry (observe_many / counter "
+        "add), never per-item observe()/inc() inside a loop"
+    )
+    scope = ("repro", "repro.*", "benchmarks.*", "examples.*")
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_FACTORIES
+            ):
+                continue
+            qual = ctx.qualname(node.func)
+            if qual is not None and qual.startswith("numpy."):
+                continue  # np.histogram and friends are not metric factories
+            name_arg = node.args[0] if node.args else None
+            if name_arg is None:
+                for kw in node.keywords:
+                    if kw.arg == "name":
+                        name_arg = kw.value
+            if name_arg is None:
+                continue
+            if not (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{node.func.attr}(...) metric/span name must be a "
+                    "string literal so registry lookups stay cacheable "
+                    "and statically greppable",
+                )
+            elif not _METRIC_NAME_RE.match(name_arg.value):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"metric/span name {name_arg.value!r} must be a "
+                    "lowercase dotted literal like 'plane.component.metric'",
+                )
+        if not any(
+            fnmatch.fnmatchcase(ctx.module, pat)
+            for pat in config.hot_modules
+        ):
+            return
+        seen: set[int] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for sub in ast.walk(loop):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _PER_ITEM_OBS
+                    and id(sub) not in seen
+                ):
+                    seen.add(id(sub))
+                    yield self.finding(
+                        ctx,
+                        sub,
+                        f"per-item .{sub.func.attr}() inside a loop in a "
+                        "hot module; batch with observe_many()/add(n) "
+                        "outside the loop",
+                    )
 
 
 # --------------------------------------------------------------------- helpers

@@ -27,11 +27,33 @@ import numpy as np
 from ..data.synthetic import Batch
 from ..dlrm.model import DLRM
 from ..dlrm.optim import RowwiseAdagrad
+from ..obs.metrics import registry as _obs_registry
+from ..obs.trace import Tracer
 from .network import NetworkLink, GBE_100
 from .parameter_server import ParameterServer
 from .shardstore import ShardClient, ShardedParameterStore
 
 __all__ = ["PushReport", "PullReport", "TrainingCluster", "InferenceNode"]
+
+_REG = _obs_registry()
+_TRAIN_STEPS = _REG.counter(
+    "cluster.train.steps", help="mini-batch steps across all TrainingClusters"
+)
+_TRAIN_SAMPLES = _REG.counter(
+    "cluster.train.samples", help="labelled samples consumed by training"
+)
+_STEP_SECONDS = _REG.histogram(
+    "cluster.train.step_seconds",
+    help="wall time per TrainingCluster.train_on step",
+    lo=1e-6,
+    hi=1e3,
+)
+_NODE_ROWS_APPLIED = _REG.counter(
+    "cluster.node.rows_applied", help="delta rows adopted by inference nodes"
+)
+_NODE_FULL_SYNCS = _REG.counter(
+    "cluster.node.full_syncs", help="whole-model adoptions (hourly full sync)"
+)
 
 
 def _store_of(
@@ -68,6 +90,11 @@ class TrainingCluster:
         server: destination parameter plane (sharded store or facade).
         link: training-cluster -> parameter-plane network path.
         lr: learning rate of the row-wise Adagrad optimizer.
+        tracer: optional shared :class:`repro.obs.trace.Tracer`; when
+            given, publish flushes also run under spans on its clock.
+            Step timing always goes through a tracer span (a private
+            wall-clock one by default) so span durations and step
+            metrics cannot drift apart.
     """
 
     def __init__(
@@ -76,21 +103,28 @@ class TrainingCluster:
         server: ParameterServer | ShardedParameterStore,
         link: NetworkLink = GBE_100,
         lr: float = 0.05,
+        tracer: Tracer | None = None,
     ) -> None:
         self.model = model
         self.server = server
         self.link = link
-        self.client = ShardClient(_store_of(server), link=link)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.client = ShardClient(_store_of(server), link=link, tracer=tracer)
         self.optimizer = RowwiseAdagrad(lr=lr)
         self.steps_trained = 0
 
     def train_on(self, batch: Batch, update_dense: bool = True) -> float:
         """One mini-batch step; returns the loss."""
-        result = self.model.train_step(
-            batch.dense, batch.sparse_ids, batch.labels, self.optimizer,
-            update_dense=update_dense,
-        )
+        with self.tracer.span("cluster.train.step") as span:
+            result = self.model.train_step(
+                batch.dense, batch.sparse_ids, batch.labels, self.optimizer,
+                update_dense=update_dense,
+            )
         self.steps_trained += 1
+        if _REG.enabled:
+            _TRAIN_STEPS.inc()
+            _TRAIN_SAMPLES.add(int(batch.labels.shape[0]))
+            _STEP_SECONDS.observe(span.duration)
         return result.loss
 
     def publish_changed_rows(self) -> PushReport:
@@ -125,12 +159,13 @@ class InferenceNode:
         server: ParameterServer | ShardedParameterStore,
         link: NetworkLink = GBE_100,
         node_id: int = 0,
+        tracer: Tracer | None = None,
     ) -> None:
         self.model = model
         self.server = server
         self.link = link
         self.node_id = node_id
-        self.client = ShardClient(_store_of(server), link=link)
+        self.client = ShardClient(_store_of(server), link=link, tracer=tracer)
         self.pull_log: list[PullReport] = []
 
     @property
@@ -172,9 +207,13 @@ class InferenceNode:
             transfer_seconds=self.client.transfer_seconds(nbytes),
         )
         self.pull_log.append(report)
+        if _REG.enabled:
+            _NODE_ROWS_APPLIED.add(total_rows)
         return report
 
     def adopt_model(self, source: DLRM) -> None:
         """Full-parameter refresh from a source replica (hourly full sync)."""
         self.model.load_state_dict(source.state_dict())
         self.client.mark_synced()
+        if _REG.enabled:
+            _NODE_FULL_SYNCS.inc()

@@ -16,11 +16,40 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...obs.metrics import registry as _obs_registry
 from ..collectives import CollectiveCostModel
 from ..network import GBE_100, NetworkLink
 from .store import ShardedParameterStore
 
 __all__ = ["ClientTransferReport", "ShardClient"]
+
+_REG = _obs_registry()
+_FLUSHES = _REG.counter(
+    "shardstore.client.flushes", help="publish flush events (version bumps)"
+)
+_PULLS = _REG.counter(
+    "shardstore.client.pulls", help="batched delta-pull round trips"
+)
+_ROWS_PUBLISHED = _REG.counter(
+    "shardstore.client.rows_published", help="rows pushed through flushes"
+)
+_BYTES_PUBLISHED = _REG.counter(
+    "shardstore.client.bytes_published",
+    help="bytes pushed (alpha-beta accounting volume)",
+)
+_ROWS_PULLED = _REG.counter(
+    "shardstore.client.rows_pulled", help="delta rows delivered to pullers"
+)
+_BYTES_PULLED = _REG.counter(
+    "shardstore.client.bytes_pulled",
+    help="bytes pulled (alpha-beta accounting volume)",
+)
+_TRANSFER_S = _REG.histogram(
+    "shardstore.client.transfer_seconds",
+    help="modelled per-transfer wall time (alpha-beta cost model)",
+    lo=1e-6,
+    hi=1e4,
+)
 
 
 @dataclass
@@ -45,6 +74,11 @@ class ShardClient:
         Network path between this client and the store tier.
     contention : float, optional
         Fraction of the link consumed by competing traffic.
+    tracer : repro.obs.trace.Tracer, optional
+        When given, every flush/pull runs under a span and the modelled
+        transfer seconds advance the tracer's clock (a ``SimClock`` in
+        simulations, making traces deterministic; a no-op on wall
+        clocks).  Counters in the process registry are fed either way.
     """
 
     def __init__(
@@ -52,10 +86,12 @@ class ShardClient:
         store: ShardedParameterStore,
         link: NetworkLink = GBE_100,
         contention: float = 0.0,
+        tracer=None,
     ) -> None:
         self.store = store
         self.link = link
         self.contention = contention
+        self.tracer = tracer
         self.cost = CollectiveCostModel(link)
         self.synced_version = store.version
         self._staged: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
@@ -110,6 +146,17 @@ class ShardClient:
             Rows/bytes moved and the alpha-beta modelled transfer time;
             ``version`` is the bump all staged tables landed under.
         """
+        if self.tracer is None:
+            return self._flush()
+        with self.tracer.span("shardstore.client.flush") as span:
+            report = self._flush()
+            span.attrs["version"] = report.version
+            span.attrs["rows"] = report.rows
+            span.attrs["bytes"] = report.bytes
+            self.tracer.advance(report.seconds)
+        return report
+
+    def _flush(self) -> ClientTransferReport:
         if not self._staged:
             return ClientTransferReport(
                 version=self.store.version, rows=0, bytes=0, seconds=0.0
@@ -132,6 +179,11 @@ class ShardClient:
             tables=[t for t, _, _ in batches],
         )
         self.push_log.append(report)
+        if _REG.enabled:
+            _FLUSHES.inc()
+            _ROWS_PUBLISHED.add(report.rows)
+            _BYTES_PUBLISHED.add(report.bytes)
+            _TRANSFER_S.observe(report.seconds)
         return report
 
     def publish(
@@ -173,6 +225,22 @@ class ShardClient:
             Transfer accounting; the sync point advances to the store's
             current version — one round-trip covers every table.
         """
+        if self.tracer is None:
+            return self._pull_tables(tables, row_filter)
+        lag = self.staleness_versions()
+        with self.tracer.span("shardstore.client.pull", lag=lag) as span:
+            deltas, report = self._pull_tables(tables, row_filter)
+            span.attrs["version"] = report.version
+            span.attrs["rows"] = report.rows
+            span.attrs["bytes"] = report.bytes
+            self.tracer.advance(report.seconds)
+        return deltas, report
+
+    def _pull_tables(
+        self,
+        tables: list[str],
+        row_filter: np.ndarray | None = None,
+    ) -> tuple[dict[str, tuple[np.ndarray, np.ndarray]], ClientTransferReport]:
         since = self.synced_version
         deltas: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         total_rows = 0
@@ -193,6 +261,11 @@ class ShardClient:
             tables=list(tables),
         )
         self.pull_log.append(report)
+        if _REG.enabled:
+            _PULLS.inc()
+            _ROWS_PULLED.add(report.rows)
+            _BYTES_PULLED.add(report.bytes)
+            _TRANSFER_S.observe(report.seconds)
         return deltas, report
 
     def pull_table(

@@ -22,10 +22,29 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...obs.metrics import registry as _obs_registry
+from ...obs.recorder import flight_recorder as _flight_recorder
 from .placement import ShardPlacement
 from .shard import ParameterShard, ShardStats
 
 __all__ = ["RebalanceReport", "ShardedParameterStore"]
+
+_REG = _obs_registry()
+_PUBLISHES = _REG.counter(
+    "shardstore.store.publishes", help="version bumps (publish events)"
+)
+_ROWS_WRITTEN = _REG.counter(
+    "shardstore.store.rows_written", help="rows written across all publishes"
+)
+_VERSION = _REG.gauge(
+    "shardstore.store.version", help="current global store version"
+)
+_RESIDENT_ROWS = _REG.gauge(
+    "shardstore.store.resident_rows", help="rows resident across all shards"
+)
+_NUM_SHARDS = _REG.gauge(
+    "shardstore.store.num_shards", help="live shard count"
+)
 
 
 @dataclass
@@ -192,7 +211,8 @@ class ShardedParameterStore:
         """
         indices, rows = self._normalize_batch(indices, rows)
         self.version += 1
-        self._publish_into(table, indices, rows, self.version)
+        written = self._publish_into(table, indices, rows, self.version)
+        self._note_publish(written)
         return self.version
 
     def publish_many(
@@ -210,9 +230,21 @@ class ShardedParameterStore:
             for table, indices, rows in batches
         ]
         self.version += 1
+        written = 0
         for table, indices, rows in normalized:
-            self._publish_into(table, indices, rows, self.version)
+            written += self._publish_into(table, indices, rows, self.version)
+        self._note_publish(written)
         return self.version
+
+    def _note_publish(self, written: int) -> None:
+        """Fold one publish event into the process metrics registry."""
+        if not _REG.enabled:
+            return
+        _PUBLISHES.inc()
+        _ROWS_WRITTEN.add(written)
+        _VERSION.set(self.version)
+        _RESIDENT_ROWS.set(len(self))
+        _NUM_SHARDS.set(self.num_shards)
 
     # ----------------------------------------------------------------- reads
     def pull_rows(
@@ -342,12 +374,24 @@ class ShardedParameterStore:
             del self.shards[sid]
         for sid, table, ids, rows, versions in staged:
             self.shards[sid].ingest(table, ids, rows, versions)
-        return RebalanceReport(
+        report = RebalanceReport(
             shard_ids=self.shard_ids,
             rows_moved=rows_moved,
             rows_total=rows_total,
             bytes_moved=rows_moved * self.row_bytes,
         )
+        if _REG.enabled:
+            _NUM_SHARDS.set(self.num_shards)
+            _RESIDENT_ROWS.set(len(self))
+            _flight_recorder().record(
+                "shardstore.store",
+                "rebalance",
+                f"ring now {self.num_shards} shards",
+                rows_moved=report.rows_moved,
+                rows_total=report.rows_total,
+                moved_fraction=round(report.moved_fraction, 6),
+            )
+        return report
 
     def add_shard(self, shard_id: int | None = None) -> RebalanceReport:
         """Grow the ring by one shard, migrating only the keys it now owns."""

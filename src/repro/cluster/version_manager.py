@@ -15,8 +15,27 @@ from dataclasses import dataclass
 
 from ..dlrm.checkpoint import Checkpoint
 from ..dlrm.model import DLRM
+from ..obs.metrics import registry as _obs_registry
+from ..obs.recorder import flight_recorder as _flight_recorder
 
 __all__ = ["VersionRecord", "GateResult", "ModelVersionManager"]
+
+_REG = _obs_registry()
+_REGISTERED = _REG.counter(
+    "cluster.versions.registered", help="candidate versions snapshotted"
+)
+_PROMOTED = _REG.counter(
+    "cluster.versions.promoted", help="fleet-wide promotions"
+)
+_ROLLED_BACK = _REG.counter(
+    "cluster.versions.rolled_back", help="fleet rollbacks to earlier versions"
+)
+_GATE_FAILURES = _REG.counter(
+    "cluster.versions.gate_failures", help="canary gates that refused a candidate"
+)
+_SERVING = _REG.gauge(
+    "cluster.versions.serving", help="currently promoted model version (0 = none)"
+)
 
 
 @dataclass
@@ -79,6 +98,8 @@ class ModelVersionManager:
         )
         self._records[version] = record
         self._evict()
+        if _REG.enabled:
+            _REGISTERED.inc()
         return record
 
     def _evict(self) -> None:
@@ -119,6 +140,15 @@ class ModelVersionManager:
             passed=passed,
         )
         self.gate_log.append(result)
+        if _REG.enabled and not passed:
+            _GATE_FAILURES.inc()
+            _flight_recorder().record(
+                "cluster.versions",
+                "gate_failure",
+                f"version {candidate} refused by canary gate",
+                canary_auc=canary_auc,
+                reference_auc=reference_auc,
+            )
         return result
 
     # ------------------------------------------------------------ promotion
@@ -129,6 +159,9 @@ class ModelVersionManager:
             record.checkpoint.restore(model)
         record.promoted = True
         self.serving_version = version
+        if _REG.enabled:
+            _PROMOTED.inc()
+            _SERVING.set(version)
         return len(fleet)
 
     def rollback(self, fleet: list[DLRM]) -> int:
@@ -149,6 +182,15 @@ class ModelVersionManager:
         target = max(candidates)
         self._records[current].rolled_back = True
         self.promote(target, fleet)
+        if _REG.enabled:
+            _ROLLED_BACK.inc()
+            _flight_recorder().record(
+                "cluster.versions",
+                "rollback",
+                f"fleet rolled back {current} -> {target}",
+                from_version=current,
+                to_version=target,
+            )
         return target
 
     # ------------------------------------------------------------ utilities

@@ -12,7 +12,6 @@ so the serving path knows which lookups need the LoRA adjustment.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -20,6 +19,7 @@ import numpy as np
 
 from ..data.stream import InferenceLogBuffer
 from ..dlrm.model import DLRM
+from ..obs.trace import Tracer
 from .hot_index import HotIndexFilter
 from .lora import LoRACollection
 from .pruning import UsageTracker
@@ -105,10 +105,14 @@ class LoRATrainer:
         model: DLRM,
         buffer: InferenceLogBuffer,
         config: TrainerConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.model = model
         self.buffer = buffer
         self.config = config or TrainerConfig()
+        # Step timing goes through a tracer span (wall-clock by default),
+        # so report.train_seconds and span durations share one source.
+        self.tracer = tracer if tracer is not None else Tracer()
         cfg = self.config
         dims = [t.dim for t in model.embeddings]
         capacities = [
@@ -173,22 +177,24 @@ class LoRATrainer:
     ) -> float:
         """Train the adapters on an explicit batch (testing hook)."""
         cfg = self.config
-        t0 = time.perf_counter()
-        cache = self.model.forward(dense, sparse_ids, overlay=self.lora.overlay())
-        result = self.model.backward(cache, labels)
-        for f, grad in enumerate(result.embedding_grads):
-            adapter = self.lora[f]
-            updated = adapter.accumulate_grad(grad.indices, grad.rows, cfg.lr)
-            self.report.rows_updated += updated
-            self.usage[f].record_update(grad.indices)
-            self.hot_filter.mark(f, grad.indices)
-            snap = self._grad_snapshots[f]
-            snap.append(grad.rows[: cfg.grad_snapshot_rows])
-        self.report.steps += 1
-        self.report.samples_seen += int(labels.shape[0])
-        if self.report.steps % cfg.adapt_interval == 0:
-            self._adapt()
-        self.report.train_seconds += time.perf_counter() - t0
+        with self.tracer.span("core.trainer.step") as span:
+            cache = self.model.forward(
+                dense, sparse_ids, overlay=self.lora.overlay()
+            )
+            result = self.model.backward(cache, labels)
+            for f, grad in enumerate(result.embedding_grads):
+                adapter = self.lora[f]
+                updated = adapter.accumulate_grad(grad.indices, grad.rows, cfg.lr)
+                self.report.rows_updated += updated
+                self.usage[f].record_update(grad.indices)
+                self.hot_filter.mark(f, grad.indices)
+                snap = self._grad_snapshots[f]
+                snap.append(grad.rows[: cfg.grad_snapshot_rows])
+            self.report.steps += 1
+            self.report.samples_seen += int(labels.shape[0])
+            if self.report.steps % cfg.adapt_interval == 0:
+                self._adapt()
+        self.report.train_seconds += span.duration
         return result.loss
 
     # ------------------------------------------------------------ adaptation

@@ -1,0 +1,61 @@
+"""Unified telemetry plane: metrics, sim-clock spans, flight recorder.
+
+``repro.obs`` is the shared observability substrate every other plane
+instruments against:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry` of
+  counters, gauges, and log-bucketed :class:`Histogram`\\ s whose
+  ``observe_many`` folds whole arrays in one bincount pass.
+* :mod:`repro.obs.clock` / :mod:`repro.obs.trace` — :class:`Span` /
+  :class:`Tracer` timing off a :class:`SimClock` inside simulations
+  (byte-identical dumps across processes) or ``perf_counter`` outside.
+* :mod:`repro.obs.recorder` — :class:`FlightRecorder` ring buffers of
+  the last N events per component for post-mortem dumps.
+* :mod:`repro.obs.export` — Prometheus-style text and schema-versioned
+  JSON snapshots; ``python -m repro.obs`` is the snapshot CLI.
+
+Design rule: instrumented hot paths touch telemetry only behind
+``registry().enabled`` and only through the batched APIs (counter
+``add`` with batch totals, histogram ``observe_many``) — enforced by the
+``obs-discipline`` lint rule and a <3% overhead gate in CI.
+"""
+
+from .clock import SimClock, WallClock
+from .export import (
+    SNAPSHOT_SCHEMA_VERSION,
+    render_json,
+    render_prometheus,
+    snapshot,
+    validate_snapshot,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    set_enabled,
+)
+from .recorder import FlightEvent, FlightRecorder, flight_recorder
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "set_enabled",
+    "SimClock",
+    "WallClock",
+    "Span",
+    "Tracer",
+    "FlightEvent",
+    "FlightRecorder",
+    "flight_recorder",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "snapshot",
+    "render_json",
+    "render_prometheus",
+    "validate_snapshot",
+]

@@ -1,0 +1,132 @@
+"""Snapshot CLI for the telemetry plane: ``python -m repro.obs``.
+
+Runs a deterministic two-node shardstore sync scenario on a simulated
+clock (drive schedule from :func:`repro.cluster.timeline.
+simulate_periodic_updates`), then prints the requested view:
+
+* ``--dump metrics`` (default) — registry snapshot, ``--format text``
+  (Prometheus exposition) or ``--format json`` (schema-versioned JSON).
+* ``--dump trace`` — canonical span dump; byte-identical across
+  processes and hash seeds (the trace-determinism regression test
+  compares this output verbatim).
+* ``--dump flight`` — flight-recorder post-mortem tail.
+* ``--selfcheck`` — validate the JSON snapshot against its schema
+  version and exit non-zero on any mismatch (CI ``obs`` job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ..cluster.shardstore import ShardClient, ShardedParameterStore
+from ..cluster.timeline import simulate_periodic_updates
+from ..serving.qos import SLAMonitor
+from .clock import SimClock
+from .export import render_json, render_prometheus, snapshot, validate_snapshot
+from .recorder import FlightRecorder
+from .trace import Tracer
+
+
+def run_sync_scenario(
+    windows: int = 4,
+    rows_per_window: int = 256,
+    dim: int = 8,
+    seed: int = 0,
+) -> tuple[Tracer, FlightRecorder]:
+    """Two clients syncing through one store on a simulated timeline.
+
+    A trainer client stages and flushes two tables per update window; an
+    inference client pulls the deltas.  Window start times come from the
+    ``cluster.timeline`` periodic-update simulator, transfer durations
+    from the client's alpha-beta cost model, and every duration advances
+    the shared :class:`~repro.obs.clock.SimClock` — so the resulting
+    trace is a pure function of the arguments, byte-identical across
+    processes, hosts, and hash seeds.
+    """
+    clock = SimClock()
+    recorder = FlightRecorder()
+    tracer = Tracer(clock=clock, recorder=recorder)
+    store = ShardedParameterStore(num_shards=4, row_bytes=dim * 8, row_dim=dim)
+    trainer = ShardClient(store, tracer=tracer)
+    node = ShardClient(store, tracer=tracer)
+    monitor = SLAMonitor(p99_target_ms=10.0, window_requests=rows_per_window)
+    rng = np.random.default_rng(seed)
+    schedule = simulate_periodic_updates(
+        horizon_s=windows * 60.0,
+        interval_s=60.0,
+        update_duration_s=5.0,
+        kind="delta",
+    )
+    universe = 10 * rows_per_window
+    for event in schedule.events:
+        clock.set(event.started_s)
+        with tracer.span("obs.scenario.window", version=event.version):
+            ids = rng.choice(universe, size=rows_per_window, replace=False)
+            rows = rng.normal(size=(rows_per_window, dim))
+            half = rows_per_window // 2
+            trainer.stage("table_0", ids, rows)
+            trainer.stage("table_1", ids[:half], rows[:half])
+            trainer.flush()
+            node.pull_tables(["table_0", "table_1"])
+            monitor.observe(rng.lognormal(mean=1.0, sigma=0.6, size=256))
+    return tracer, recorder
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__
+    )
+    parser.add_argument(
+        "--dump",
+        choices=("metrics", "trace", "flight"),
+        default="metrics",
+        help="which telemetry view to print",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="metrics output format (text = Prometheus exposition)",
+    )
+    parser.add_argument("--windows", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="validate the JSON snapshot schema and exit non-zero on errors",
+    )
+    args = parser.parse_args(argv)
+
+    tracer, recorder = run_sync_scenario(windows=args.windows, seed=args.seed)
+
+    if args.selfcheck:
+        snap = snapshot()
+        errors = validate_snapshot(snap)
+        if errors:
+            for err in errors:
+                print(f"SELFCHECK FAIL: {err}", file=sys.stderr)
+            return 1
+        num_metrics = sum(
+            len(snap[s]) for s in ("counters", "gauges", "histograms")
+        )
+        print(
+            f"snapshot schema v{snap['schema_version']} ok "
+            f"({num_metrics} metrics)"
+        )
+        return 0
+    if args.dump == "trace":
+        print(tracer.dump_json())
+    elif args.dump == "flight":
+        print(recorder.dump_text())
+    elif args.format == "json":
+        print(render_json())
+    else:
+        print(render_prometheus(), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Flight recorder: bounded per-component event rings for post-mortems.
+
+When an SLA violation or assertion fires, the question is always "what
+were the last few things each component did?".  The
+:class:`FlightRecorder` answers it with one ``deque(maxlen=N)`` per
+component: completed spans, rebalance events, and SLA violations are
+appended as they happen, memory stays bounded, and :meth:`dump_text`
+prints the tail of every ring in deterministic order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["FlightEvent", "FlightRecorder", "flight_recorder"]
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One recorded moment: a finished span or a notable component event."""
+
+    seq: int
+    t: float
+    component: str
+    kind: str
+    message: str
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view with attrs expanded to a dict."""
+        return {
+            "seq": self.seq,
+            "t": self.t,
+            "component": self.component,
+            "kind": self.kind,
+            "message": self.message,
+            "attrs": dict(self.attrs),
+        }
+
+
+class FlightRecorder:
+    """Per-component ring buffers of the last ``capacity`` events.
+
+    Args:
+        capacity: events retained per component; older entries fall off
+            the front of that component's ring.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self._rings: dict[str, deque[FlightEvent]] = {}
+        self._seq = 0
+
+    def record(
+        self,
+        component: str,
+        kind: str,
+        message: str,
+        t: float = 0.0,
+        **attrs,
+    ) -> FlightEvent:
+        """Append one event to ``component``'s ring and return it."""
+        self._seq += 1
+        event = FlightEvent(
+            seq=self._seq,
+            t=float(t),
+            component=component,
+            kind=kind,
+            message=message,
+            attrs=tuple(sorted(attrs.items())),
+        )
+        ring = self._rings.get(component)
+        if ring is None:
+            ring = self._rings[component] = deque(maxlen=self.capacity)
+        ring.append(event)
+        return event
+
+    def record_span(self, span) -> FlightEvent:
+        """Capture a finished :class:`~repro.obs.trace.Span`.
+
+        The component is the span name minus its last segment
+        (``shardstore.client.flush`` files under ``shardstore.client``).
+        """
+        component = span.name.rsplit(".", 1)[0]
+        return self.record(
+            component,
+            "span",
+            span.name,
+            t=span.start,
+            duration_s=span.duration,
+            **dict(span.attrs),
+        )
+
+    @property
+    def components(self) -> list[str]:
+        """Component names with at least one recorded event, sorted."""
+        return sorted(self._rings)
+
+    def events(self, component: str | None = None) -> list[FlightEvent]:
+        """Retained events, oldest first; optionally one component's."""
+        if component is not None:
+            return list(self._rings.get(component, ()))
+        merged = [e for ring in self._rings.values() for e in ring]
+        merged.sort(key=lambda e: e.seq)
+        return merged
+
+    def dump(self) -> list[dict]:
+        """All retained events as JSON-friendly dicts, oldest first."""
+        return [e.as_dict() for e in self.events()]
+
+    def dump_text(self, tail: int = 10) -> str:
+        """Human-readable post-mortem: last ``tail`` events per component."""
+        lines = []
+        for component in self.components:
+            lines.append(f"== {component} ==")
+            for e in self.events(component)[-tail:]:
+                detail = " ".join(
+                    f"{k}={v}" for k, v in e.attrs
+                )
+                lines.append(
+                    f"  [{e.seq:>5}] t={e.t:.6f} {e.kind}: {e.message}"
+                    + (f" ({detail})" if detail else "")
+                )
+        return "\n".join(lines) if lines else "(flight recorder empty)"
+
+    def clear(self, component: str | None = None) -> None:
+        """Drop retained events (one component's, or everything)."""
+        if component is None:
+            self._rings.clear()
+            self._seq = 0
+        else:
+            self._rings.pop(component, None)
+
+
+_RECORDER = FlightRecorder()
+
+
+def flight_recorder() -> FlightRecorder:
+    """The process-wide default flight recorder."""
+    return _RECORDER

@@ -12,8 +12,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..hardware.latency import percentile
+from ..obs.metrics import registry as _obs_registry
+from ..obs.recorder import flight_recorder as _flight_recorder
 
 __all__ = ["SLAReport", "SLAMonitor"]
+
+_REG = _obs_registry()
+_LATENCY_MS = _REG.histogram(
+    "serving.latency_ms",
+    help="end-to-end request latency fed through SLAMonitor.observe",
+    lo=1e-2,
+    hi=1e5,
+)
+_REQUESTS = _REG.counter(
+    "serving.requests", help="request latencies observed"
+)
+_WINDOWS = _REG.counter(
+    "serving.sla.windows", help="monitoring windows closed"
+)
+_VIOLATIONS = _REG.counter(
+    "serving.sla.violations", help="windows whose p99 broke the SLA target"
+)
 
 
 @dataclass
@@ -29,7 +48,17 @@ class SLAReport:
 
 
 class SLAMonitor:
-    """Sliding-window tail-latency monitor.
+    """Sliding-window tail-latency monitor on the shared telemetry plane.
+
+    Every observed latency array is folded into the process-wide
+    ``serving.latency_ms`` :class:`~repro.obs.metrics.Histogram` (one
+    ``observe_many`` pass) and the ``serving.*`` counters, so dashboards
+    and exporters see the same stream the monitor does.  Per-window
+    *reports* still compute their percentiles from the window's raw
+    samples — count-based windowing needs the raw slice anyway, and it
+    keeps report values bit-identical to the pre-telemetry monitor (a
+    property pinned by ``tests/test_serving.py``).  SLA violations file
+    a post-mortem event in the process flight recorder.
 
     Args:
         p99_target_ms: SLA threshold (paper stress setting: 10 ms).
@@ -58,6 +87,9 @@ class SLAMonitor:
         values = np.asarray(latencies_ms, dtype=np.float64).ravel()
         if values.size == 0:
             return []
+        if _REG.enabled:
+            _LATENCY_MS.observe_many(values)
+            _REQUESTS.add(values.size)
         buf = (
             np.concatenate((self._current, values))
             if self._current.size
@@ -84,6 +116,20 @@ class SLAMonitor:
             num_requests=samples.size,
         )
         self.reports.append(report)
+        if _REG.enabled:
+            _WINDOWS.inc()
+            if report.violated:
+                _VIOLATIONS.inc()
+                _flight_recorder().record(
+                    "serving.sla",
+                    "violation",
+                    f"window {report.window_id} p99 "
+                    f"{report.p99_ms:.3f} ms > {self.p99_target_ms:.3f} ms",
+                    window_id=report.window_id,
+                    p99_ms=round(report.p99_ms, 6),
+                    target_ms=self.p99_target_ms,
+                    num_requests=report.num_requests,
+                )
         return report
 
     def current_p99(self) -> float:

@@ -47,7 +47,7 @@ def active(findings):
 
 
 # ----------------------------------------------------------- rule registry
-def test_all_six_rules_registered():
+def test_all_seven_rules_registered():
     assert rule_names() == [
         "no-salted-hash",
         "no-unseeded-rng",
@@ -55,6 +55,7 @@ def test_all_six_rules_registered():
         "hot-loop",
         "dtype-discipline",
         "public-api",
+        "obs-discipline",
     ]
 
 
@@ -320,6 +321,84 @@ class TestPublicApi:
         src = "X = 1\n"
         assert not findings_for(src, "src/repro/_private.py", "public-api")
         assert not findings_for(src, "tests/test_thing.py", "public-api")
+
+
+# ------------------------------------------------------------ obs-discipline
+class TestObsDiscipline:
+    def test_fires_on_non_literal_metric_name(self):
+        src = """
+            def make(reg, name):
+                return reg.counter(name)
+        """
+        found = findings_for(src, SIM_PATH, "obs-discipline")
+        assert len(found) == 1
+        assert "string literal" in found[0].message
+
+    def test_fires_on_bad_literal_name(self):
+        src = """
+            def make(reg):
+                return reg.histogram("BadName")
+        """
+        found = findings_for(src, SIM_PATH, "obs-discipline")
+        assert len(found) == 1
+        assert "lowercase dotted" in found[0].message
+
+    def test_clean_on_dotted_literal_names(self):
+        src = """
+            def make(reg, tracer):
+                c = reg.counter("serving.requests")
+                g = reg.gauge("shardstore.store.version")
+                h = reg.histogram("serving.latency_ms", lo=0.01)
+                with tracer.span("cluster.train.step"):
+                    pass
+                return c, g, h
+        """
+        assert not findings_for(src, SIM_PATH, "obs-discipline")
+
+    def test_numpy_histogram_is_not_a_metric_factory(self):
+        src = """
+            import numpy as np
+
+            def binned(values):
+                return np.histogram(values, bins=10)
+        """
+        assert not findings_for(src, SIM_PATH, "obs-discipline")
+
+    def test_fires_on_per_item_observe_in_loop_in_hot_module(self):
+        src = """
+            def feed(hist, values):
+                for v in values:
+                    hist.observe(v)
+        """
+        found = findings_for(src, HOT_PATH, "obs-discipline")
+        assert len(found) == 1
+        assert "observe_many" in found[0].message
+
+    def test_fires_on_per_item_inc_in_while_loop_in_hot_module(self):
+        src = """
+            def count(counter, n):
+                i = 0
+                while i < n:
+                    counter.inc()
+                    i += 1
+        """
+        assert len(findings_for(src, HOT_PATH, "obs-discipline")) == 1
+
+    def test_per_item_observe_in_loop_ok_outside_hot_modules(self):
+        src = """
+            def feed(hist, values):
+                for v in values:
+                    hist.observe(v)
+        """
+        assert not findings_for(src, SIM_PATH, "obs-discipline")
+
+    def test_batched_observe_many_in_loop_is_fine_in_hot_module(self):
+        src = """
+            def feed(hist, chunks):
+                for chunk in chunks:
+                    hist.observe_many(chunk)
+        """
+        assert not findings_for(src, HOT_PATH, "obs-discipline")
 
 
 # -------------------------------------------------------------- suppressions

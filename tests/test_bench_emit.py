@@ -1,0 +1,70 @@
+"""Benchmark result emitter: schema, provenance, and output routing."""
+
+import json
+import pathlib
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture
+def emit(monkeypatch, tmp_path):
+    """The emitter, routed into a per-test output directory."""
+    monkeypatch.syspath_prepend(str(BENCH_DIR))
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    from _emit import emit_bench_result
+
+    return emit_bench_result, tmp_path
+
+
+def test_emits_schema_complete_json(emit):
+    emit_bench_result, tmp = emit
+    path = emit_bench_result(
+        "unit",
+        shape="tiny",
+        ids_per_sec=123.0,
+        speedup=4.5,
+        p99_ms=9.9,
+        extra={"custom_metric": 1},
+    )
+    assert path == str(tmp / "BENCH_unit.json")
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert payload["schema_version"] == 1
+    for key in ("name", "shape", "ids_per_sec", "speedup", "p99_ms", "git_rev"):
+        assert key in payload
+    assert payload["name"] == "unit"
+    assert payload["ids_per_sec"] == 123.0
+    assert payload["speedup"] == 4.5
+    assert payload["p99_ms"] == 9.9
+    assert payload["custom_metric"] == 1
+
+
+def test_optional_fields_default_to_null(emit):
+    emit_bench_result, _ = emit
+    path = emit_bench_result("bare", shape="s", ids_per_sec=1.0)
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert payload["speedup"] is None
+    assert payload["p99_ms"] is None
+
+
+def test_reserved_keys_cannot_be_overridden_by_extra(emit):
+    emit_bench_result, _ = emit
+    path = emit_bench_result(
+        "guarded", shape="s", ids_per_sec=1.0, extra={"name": "hijack"}
+    )
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert payload["name"] == "guarded"
+
+
+def test_git_rev_is_a_short_hash_in_this_checkout(emit):
+    emit_bench_result, _ = emit
+    path = emit_bench_result("rev", shape="s", ids_per_sec=1.0)
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    rev = payload["git_rev"]
+    assert isinstance(rev, str) and rev
+    assert rev == "unknown" or all(c in "0123456789abcdef" for c in rev)

@@ -19,6 +19,7 @@ DOC_FILES = [
     REPO / "docs" / "architecture.md",
     REPO / "docs" / "benchmarks.md",
     REPO / "docs" / "lint.md",
+    REPO / "docs" / "observability.md",
 ]
 
 
