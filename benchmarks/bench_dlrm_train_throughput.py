@@ -41,6 +41,7 @@ import time
 
 import numpy as np
 
+from repro.core.dtypes import SERVE
 from repro.data.zipf import ZipfSampler
 from repro.dlrm.embedding import EmbeddingTable
 from repro.dlrm.optim import RowwiseAdagrad
@@ -203,6 +204,35 @@ def bench_shape(num_ids, num_rows, dim, mean_bag, max_bag, repeats, rng):
     return ids.size, offsets.size - 1, ref, vec
 
 
+def bench_serving_lane(num_ids, num_rows, dim, mean_bag, max_bag, repeats, rng):
+    """Float32 serving-lane pooled lookup vs the float64 train lane.
+
+    Serving only reads; after the publish-time :meth:`EmbeddingTable.cast`
+    downcast the gather touches half the bytes per row.  Both lanes run
+    the identical pooled lookup over the same Zipf id stream, and the
+    float32 pool is first checked against the float64 pool within the
+    serving tolerance.  Returns ``(f64 ids/sec, f32 ids/sec)``.
+    """
+    ids, offsets, _ = make_workload(
+        num_ids, num_rows, dim, mean_bag, max_bag, rng
+    )
+    table64 = EmbeddingTable(num_rows, dim, rng=np.random.default_rng(3))
+    table32 = table64.cast(SERVE)
+
+    pooled64 = table64.lookup_pooled(ids, offsets, mode=MODE)
+    pooled32 = table32.lookup_pooled(ids, offsets, mode=MODE)
+    np.testing.assert_allclose(
+        pooled32.astype(np.float64), pooled64, rtol=1e-5, atol=1e-6
+    )
+
+    return _rates(
+        lambda: table64.lookup_pooled(ids, offsets, mode=MODE),
+        lambda: table32.lookup_pooled(ids, offsets, mode=MODE),
+        ids.size,
+        repeats,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--ids", type=int, default=100_000)
@@ -250,6 +280,19 @@ def main(argv: list[str] | None = None) -> int:
         if gated_throughput is None:
             gated_throughput = vec
 
+    # Serving-lane comparison: read-only pooled lookups on the float32
+    # lane vs the float64 train lane.  Informational — the train-step
+    # gate above is judged on the float64 composite only.
+    lane64, lane32 = bench_serving_lane(
+        args.ids, args.rows, args.dim, args.mean_bag, args.max_bag,
+        args.repeats, rng,
+    )
+    lane_ratio = lane32 / lane64
+    print(
+        f"{'serve lookup':<16} {'':>7} {lane64:>12,.0f} {lane32:>12,.0f} "
+        f"{lane_ratio:>8.2f}x  (float64 lane vs float32 lane)"
+    )
+
     from _emit import emit_bench_result  # sibling module; script dir is on sys.path
 
     emit_bench_result(
@@ -260,6 +303,11 @@ def main(argv: list[str] | None = None) -> int:
         ),
         ids_per_sec=gated_throughput,
         speedup=gated_speedup,
+        extra={
+            "serve_f64_ids_per_sec": float(lane64),
+            "serve_f32_ids_per_sec": float(lane32),
+            "serve_lane_ratio": float(lane_ratio),
+        },
     )
 
     if args.check_speedup is not None:

@@ -31,6 +31,9 @@ HOT_MODULES: tuple[str, ...] = (
     "repro.hardware.vectorcache",
     "repro.cluster.shardstore.*",
     "repro.dlrm.embedding",
+    "repro.dlrm.mlp",
+    "repro.dlrm.interaction",
+    "repro.dlrm.model",
     "repro.dlrm.optim",
     "repro.obs.metrics",
 )

@@ -208,12 +208,15 @@ class HotLoopRule(Rule):
 
 @register
 class DtypeDisciplineRule(Rule):
-    """Array constructors in hot modules must pin ``dtype=`` explicitly."""
+    """Array constructors in hot modules must pin ``dtype=`` explicitly,
+    and statically-known float lanes must not mix in one expression."""
 
     name = "dtype-discipline"
     description = (
         "np.zeros/empty/ones/full/arange/asarray in hot modules must pass "
-        "an explicit dtype= (int64 ids, uint64 keys, float64 rows)"
+        "an explicit dtype= (int64 ids, uint64 keys, float64 rows), and "
+        "arrays on different float lanes (float32 vs float64) must not "
+        "meet in a binary op — numpy silently upcasts the result"
     )
 
     def check(
@@ -240,6 +243,54 @@ class DtypeDisciplineRule(Rule):
                 f"module silently inherits a platform/input-dependent "
                 f"dtype; {hint}",
             )
+        yield from self._check_mixed_lanes(ctx)
+
+    def _check_mixed_lanes(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag binary ops whose operands sit on different float lanes.
+
+        Lane inference is deliberately shallow and syntactic: a name
+        acquires a lane when it is assigned straight from an array
+        constructor or ``.astype`` whose dtype is the *literal*
+        ``np.float32``/``np.float64`` (or the equivalent string).  Only
+        names with known, different lanes are reported — everything
+        dynamic stays silent, so the check has no false positives on
+        policy-threaded code (``dtype=self.dtype`` records nothing).
+        """
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes.extend(
+            n
+            for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        seen: set[int] = set()
+        for scope in scopes:
+            lanes: dict[str, str] = {}
+            for node in ast.walk(scope):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        lane = _expr_lane(ctx, node.value)
+                        if lane is not None:
+                            lanes[target.id] = lane
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.BinOp) or id(node) in seen:
+                    continue
+                left = _operand_lane(ctx, node.left, lanes)
+                right = _operand_lane(ctx, node.right, lanes)
+                if (
+                    left is not None
+                    and right is not None
+                    and left[1] != right[1]
+                ):
+                    seen.add(id(node))
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"binary op mixes float lanes ({left[0]}: "
+                        f"{left[1]}, {right[0]}: {right[1]}); numpy "
+                        "silently upcasts the result to float64 — coerce "
+                        "both operands onto one lane first",
+                    )
 
 
 @register
@@ -384,6 +435,72 @@ class ObsDisciplineRule(Rule):
 
 
 # --------------------------------------------------------------------- helpers
+_FLOAT_LANES = frozenset({"float32", "float64"})
+
+
+def _literal_lane(ctx: FileContext, node: ast.AST) -> str | None:
+    """Resolve a dtype expression to a literal float lane name, or None.
+
+    Recognises ``np.float32`` / ``np.float64`` attribute access, the
+    bare names after ``from numpy import float32``, and the string
+    spellings ``"float32"`` / ``"float64"``.  Anything dynamic
+    (variables, ``self.dtype``, policies) resolves to None.
+    """
+    if isinstance(node, ast.Constant) and node.value in _FLOAT_LANES:
+        return str(node.value)
+    qual = ctx.qualname(node)
+    if qual is not None and qual.startswith("numpy."):
+        tail = qual.split(".", 1)[1]
+        if tail in _FLOAT_LANES:
+            return tail
+    return None
+
+
+def _expr_lane(ctx: FileContext, value: ast.AST) -> str | None:
+    """Float lane of an assignment's right-hand side, when static.
+
+    Covers ``np.zeros(..., dtype=np.float32)``-style constructors and
+    ``x.astype(np.float32)`` casts; returns the lane name or None.
+    """
+    if not isinstance(value, ast.Call):
+        return None
+    qual = ctx.qualname(value.func)
+    if qual in DTYPE_CONSTRUCTORS or qual in (
+        "numpy.zeros_like",
+        "numpy.empty_like",
+        "numpy.ones_like",
+        "numpy.full_like",
+        "numpy.array",
+    ):
+        for kw in value.keywords:
+            if kw.arg == "dtype":
+                return _literal_lane(ctx, kw.value)
+        return None
+    if (
+        isinstance(value.func, ast.Attribute)
+        and value.func.attr == "astype"
+    ):
+        if value.args:
+            return _literal_lane(ctx, value.args[0])
+        for kw in value.keywords:
+            if kw.arg == "dtype":
+                return _literal_lane(ctx, kw.value)
+    return None
+
+
+def _operand_lane(
+    ctx: FileContext, node: ast.AST, lanes: dict[str, str]
+) -> tuple[str, str] | None:
+    """``(label, lane)`` of a binary-op operand, when statically known."""
+    if isinstance(node, ast.Name):
+        lane = lanes.get(node.id)
+        return (node.id, lane) if lane is not None else None
+    lane = _expr_lane(ctx, node)
+    if lane is not None:
+        return (ast.unparse(node) if hasattr(ast, "unparse") else "<expr>", lane)
+    return None
+
+
 def _scalarizing_expr(ctx: FileContext, expr: ast.AST) -> str | None:
     """Why ``expr`` scalarises array data, or None if it doesn't."""
     for node in ast.walk(expr):

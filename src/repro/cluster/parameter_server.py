@@ -32,22 +32,29 @@ class ParameterServer:
 
     Args:
         num_shards: splitmix64 hash shards.
-        row_bytes: accounting size per row (dtype bytes x dim).
+        row_bytes: accounting size per row (dtype bytes x dim); ``None``
+            derives it from ``row_dim`` and ``row_dtype``.
         row_dim: row width when known up front; otherwise pinned at each
             table's first publish.
+        row_dtype: row lane — float64 (train, default) or float32
+            (serve; checked downcast at publish, half the bytes).
     """
 
     def __init__(
         self,
         num_shards: int = 8,
-        row_bytes: int = 128,
+        row_bytes: int | None = 128,
         row_dim: int | None = None,
+        row_dtype=np.float64,
     ) -> None:
         self.store = ShardedParameterStore(
-            num_shards=num_shards, row_bytes=row_bytes, row_dim=row_dim
+            num_shards=num_shards,
+            row_bytes=row_bytes,
+            row_dim=row_dim,
+            row_dtype=row_dtype,
         )
         self.num_shards = num_shards
-        self.row_bytes = row_bytes
+        self.row_bytes = self.store.row_bytes
 
     # ----------------------------------------------------------------- basics
     @property

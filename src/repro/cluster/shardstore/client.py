@@ -128,12 +128,12 @@ class ShardClient:
         indices : numpy.ndarray of int64
             Row ids to publish.
         rows : numpy.ndarray
-            ``(len(indices), dim)`` payloads.
+            ``(len(indices), dim)`` payloads.  Rows cross onto the
+            store's lane here (the client side of publish): against a
+            float32 store the checked downcast runs once at stage time
+            and the staged copy already holds half the bytes.
         """
-        indices = np.asarray(indices, dtype=np.int64)
-        rows = np.asarray(rows, dtype=np.float64)
-        if rows.ndim != 2 or rows.shape[0] != indices.shape[0]:
-            raise ValueError("indices and rows disagree on length")
+        indices, rows = self.store._normalize_batch(indices, rows)
         if indices.size:
             self._staged.setdefault(table, []).append((indices, rows))
 

@@ -35,13 +35,18 @@ class ShardStats:
 
 
 class _TableBlock:
-    """Rows of one table resident on one shard."""
+    """Rows of one table resident on one shard.
 
-    def __init__(self, dim: int, capacity: int = 64) -> None:
+    ``dtype`` is the row lane: float64 on a training store, float32 on a
+    serving store (half the resident and transferred bytes per row).
+    """
+
+    def __init__(self, dim: int, capacity: int = 64, dtype=np.float64) -> None:
         self.dim = dim
         self.capacity = capacity
+        self.dtype = np.dtype(dtype)
         self.slots = IdSlotTable(capacity)
-        self.rows = np.zeros((capacity, dim), dtype=np.float64)
+        self.rows = np.zeros((capacity, dim), dtype=self.dtype)
         self.row_version = np.zeros(capacity, dtype=np.int64)
         # Append-only (version, id) log, sorted by version by construction.
         self._log_versions = np.empty(64, dtype=np.int64)
@@ -66,7 +71,7 @@ class _TableBlock:
         """Grow the row width; existing rows zero-pad on the right."""
         if dim <= self.dim:
             return
-        wider = np.zeros((self.capacity, dim), dtype=np.float64)
+        wider = np.zeros((self.capacity, dim), dtype=self.dtype)
         wider[:, : self.dim] = self.rows
         self.rows = wider
         self.dim = dim
@@ -76,7 +81,7 @@ class _TableBlock:
         keys = self.slots.keys
         old_slots = self.slots.lookup(keys)
         new_capacity = max(self.capacity * 2, self.slots.size + need)
-        new_rows = np.zeros((new_capacity, self.dim), dtype=np.float64)
+        new_rows = np.zeros((new_capacity, self.dim), dtype=self.dtype)
         new_versions = np.zeros(new_capacity, dtype=np.int64)
         new_rows[: keys.size] = self.rows[old_slots]
         new_versions[: keys.size] = self.row_version[old_slots]
@@ -246,7 +251,7 @@ class _TableBlock:
         """
         ids = self.changed_ids(since_version)
         if ids.size == 0:
-            return ids, np.zeros((0, self.dim), dtype=np.float64)
+            return ids, np.zeros((0, self.dim), dtype=self.dtype)
         # every logged id is resident by construction
         return ids, self.rows[self.slots.lookup_present(ids)]
 
@@ -254,7 +259,7 @@ class _TableBlock:
         """Point gather; returns ``(found_mask, rows)`` with zeros on miss."""
         slots = self.slots.lookup(ids)
         found = slots >= 0
-        out = np.zeros((ids.size, self.dim), dtype=np.float64)
+        out = np.zeros((ids.size, self.dim), dtype=self.dtype)
         out[found] = self.rows[slots[found]]
         return found, out
 
@@ -265,11 +270,19 @@ class _TableBlock:
 
 
 class ParameterShard:
-    """One shard: per-table row blocks, delta logs, and I/O accounting."""
+    """One shard: per-table row blocks, delta logs, and I/O accounting.
 
-    def __init__(self, shard_id: int, row_bytes: int) -> None:
+    ``row_dtype`` selects the row lane of every block this shard creates;
+    ``row_bytes`` is the accounting size per row and should agree with the
+    lane (the store computes it as ``dim * itemsize`` when lane-aware).
+    """
+
+    def __init__(
+        self, shard_id: int, row_bytes: int, row_dtype=np.float64
+    ) -> None:
         self.shard_id = shard_id
         self.row_bytes = row_bytes
+        self.row_dtype = np.dtype(row_dtype)
         self.stats = ShardStats()
         self._blocks: dict[str, _TableBlock] = {}
 
@@ -300,7 +313,9 @@ class ParameterShard:
         """Write unique sorted ids; charges write stats; returns rows written."""
         block = self._blocks.get(table)
         if block is None:
-            block = self._blocks[table] = _TableBlock(dim=rows.shape[1])
+            block = self._blocks[table] = _TableBlock(
+                dim=rows.shape[1], dtype=self.row_dtype
+            )
         written = block.publish(ids, rows, version)
         self.stats.rows_written += written
         self.stats.bytes_written += written * self.row_bytes
@@ -317,7 +332,9 @@ class ParameterShard:
             return
         block = self._blocks.get(table)
         if block is None:
-            block = self._blocks[table] = _TableBlock(dim=rows.shape[1])
+            block = self._blocks[table] = _TableBlock(
+                dim=rows.shape[1], dtype=self.row_dtype
+            )
         block.ingest(ids, rows, versions)
 
     def drop(self, table: str, ids: np.ndarray):
@@ -325,7 +342,7 @@ class ParameterShard:
         if block is None:
             return (
                 np.empty(0, dtype=np.int64),
-                np.zeros((0, 1), dtype=np.float64),
+                np.zeros((0, 1), dtype=self.row_dtype),
                 np.empty(0, dtype=np.int64),
             )
         return block.drop(ids)
@@ -340,7 +357,10 @@ class ParameterShard:
     ) -> tuple[np.ndarray, np.ndarray]:
         block = self._blocks.get(table)
         if block is None:
-            return np.empty(0, dtype=np.int64), np.zeros((0, 1), dtype=np.float64)
+            return (
+                np.empty(0, dtype=np.int64),
+                np.zeros((0, 1), dtype=self.row_dtype),
+            )
         ids, rows = block.delta_since(since_version)
         if charge and ids.size:
             self.stats.rows_read += int(ids.size)

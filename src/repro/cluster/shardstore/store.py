@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...core.dtypes import as_float32_rows, as_float64_rows
 from ...obs.metrics import registry as _obs_registry
 from ...obs.recorder import flight_recorder as _flight_recorder
 from .placement import ShardPlacement
@@ -68,11 +69,22 @@ class ShardedParameterStore:
     ----------
     num_shards : int, optional
         Initial shard count (ids ``0..N-1``).
-    row_bytes : int, optional
-        Accounting size per row for transfer-cost models.
+    row_bytes : int or None, optional
+        Accounting size per row for transfer-cost models.  ``None``
+        computes it lane-aware as ``(row_dim or 16) * itemsize`` of
+        ``row_dtype`` — a float32 store then charges half a float64
+        store's bytes through every stat and transfer model.
     row_dim : int, optional
         Row width, when known up front; otherwise pinned at each table's
         first publish (no more probing rows to learn the dim).
+    row_dtype : numpy dtype, optional
+        Row lane of every resident block.  float64 (the default) stores
+        rows exactly; float32 downcasts once at publish time through a
+        *checked* coercion (:func:`repro.core.dtypes.as_float32_rows`)
+        that raises when any value moves past ``downcast_rtol``.
+    downcast_rtol : float, optional
+        Tolerance of the publish-time float32 downcast; ignored on the
+        float64 lane.
     virtual_nodes : int, optional
         Ring points per shard.
     seed : int, optional
@@ -82,21 +94,30 @@ class ShardedParameterStore:
     def __init__(
         self,
         num_shards: int = 8,
-        row_bytes: int = 128,
+        row_bytes: int | None = 128,
         row_dim: int | None = None,
+        row_dtype=np.float64,
+        downcast_rtol: float = 1e-6,
         virtual_nodes: int = 64,
         seed: int = 0,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("need at least one shard")
+        self.row_dtype = np.dtype(row_dtype)
+        if self.row_dtype.kind != "f":
+            raise TypeError(f"row_dtype must be a float lane, got {row_dtype}")
+        if row_bytes is None:
+            row_bytes = (row_dim or 16) * self.row_dtype.itemsize
         self.row_bytes = row_bytes
         self.row_dim = row_dim
+        self.downcast_rtol = downcast_rtol
         self.version = 0
         self.placement = ShardPlacement(
             list(range(num_shards)), virtual_nodes=virtual_nodes, seed=seed
         )
         self.shards: dict[int, ParameterShard] = {
-            sid: ParameterShard(sid, row_bytes) for sid in range(num_shards)
+            sid: ParameterShard(sid, row_bytes, row_dtype=self.row_dtype)
+            for sid in range(num_shards)
         }
         self._dims: dict[str, int] = {}
 
@@ -135,13 +156,21 @@ class ShardedParameterStore:
         keep = indices.size - 1 - first_in_reversed
         return indices[keep], rows[keep]
 
-    @staticmethod
     def _normalize_batch(
-        indices: np.ndarray, rows: np.ndarray
+        self, indices: np.ndarray, rows: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Shape/dtype validation, BEFORE any version bump or write."""
+        """Shape/dtype validation, BEFORE any version bump or write.
+
+        This is the ONE point where rows cross onto the store's lane: a
+        float32 store downcasts float64 training rows here through the
+        checked coercer, so corruption (overflow, precision collapse)
+        raises before any version bump instead of being served later.
+        """
         indices = np.asarray(indices, dtype=np.int64)
-        rows = np.asarray(rows, dtype=np.float64)
+        if self.row_dtype == np.dtype(np.float32):
+            rows = as_float32_rows(rows, name="rows", rtol=self.downcast_rtol)
+        else:
+            rows = as_float64_rows(rows, name="rows")
         if rows.ndim != 2 or rows.shape[0] != indices.shape[0]:
             raise ValueError("indices and rows disagree on length")
         return indices, rows
@@ -268,7 +297,7 @@ class ShardedParameterStore:
         """
         indices = np.asarray(indices, dtype=np.int64)
         mask = np.zeros(indices.size, dtype=bool)
-        out = np.zeros((indices.size, self.dim_of(table)), dtype=np.float64)
+        out = np.zeros((indices.size, self.dim_of(table)), dtype=self.row_dtype)
         if indices.size == 0:
             return mask, out
         owners = self.placement.shard_of(table, indices)
@@ -314,7 +343,7 @@ class ShardedParameterStore:
         if not parts:
             return (
                 np.empty(0, dtype=np.int64),
-                np.zeros((0, self.dim_of(table)), dtype=np.float64),
+                np.zeros((0, self.dim_of(table)), dtype=self.row_dtype),
                 self.version,
             )
         ids = np.concatenate([p[0] for p in parts])
@@ -369,7 +398,9 @@ class ShardedParameterStore:
         self.placement = new_placement
         for sid in new_placement.shard_ids:
             if sid not in old_ids:
-                self.shards[sid] = ParameterShard(sid, self.row_bytes)
+                self.shards[sid] = ParameterShard(
+                    sid, self.row_bytes, row_dtype=self.row_dtype
+                )
         for sid in old_ids - set(new_placement.shard_ids):
             del self.shards[sid]
         for sid, table, ids, rows, versions in staged:

@@ -17,8 +17,14 @@ universe is known:
   ``np.searchsorted`` per membership batch.
 
 Neither path runs a per-id Python loop on the serving path.  The dense
-layout costs 8 bytes per table row — small next to the embedding rows it
-annotates (a d=32 float64 row is 256 bytes).
+layout costs 8 bytes per table row at the default ``float64`` stamp
+dtype — small next to the embedding rows it annotates (a d=32 float64
+row is 256 bytes).  The serving lane halves that with
+``stamp_dtype=np.float32`` (4 bytes/row), which together with the int32
+``IdSlotTable`` slot lane keeps the serving metadata under the paper's
+<2% row-memory budget; float32 stamps resolve ~1e-5 relative to the
+clock value, plenty for the sim clock's seconds-from-zero timeline (do
+not feed epoch seconds through a float32 stamp lane).
 """
 
 from __future__ import annotations
@@ -33,14 +39,19 @@ __all__ = ["HotIndexFilter"]
 class _FieldTable:
     """Sorted ids + last-mark timestamps for one sparse field."""
 
-    __slots__ = ("ids", "stamps")
+    __slots__ = ("ids", "stamps", "stamp_dtype")
 
-    def __init__(self) -> None:
+    def __init__(self, stamp_dtype=np.float64) -> None:
+        self.stamp_dtype = np.dtype(stamp_dtype)
         self.ids = np.empty(0, dtype=np.int64)
-        self.stamps = np.empty(0, dtype=np.float64)
+        self.stamps = np.empty(0, dtype=self.stamp_dtype)
 
     def __len__(self) -> int:
         return int(self.ids.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.ids.nbytes + self.stamps.nbytes)
 
     def upsert(self, ids: np.ndarray, stamp: float) -> None:
         """Set the timestamp of every id in ``ids`` to ``stamp``."""
@@ -49,7 +60,7 @@ class _FieldTable:
             return
         if self.ids.size == 0:
             self.ids = ids.copy()
-            self.stamps = np.full(ids.size, stamp)
+            self.stamps = np.full(ids.size, stamp, dtype=self.stamp_dtype)
             return
         present, pos = sorted_find(self.ids, ids)
         self.stamps[pos[present]] = stamp
@@ -61,7 +72,7 @@ class _FieldTable:
 
     def membership(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(found mask, timestamps)`` per query id (-inf where absent)."""
-        stamps = np.full(ids.shape, -np.inf)
+        stamps = np.full(ids.shape, -np.inf, dtype=self.stamp_dtype)
         found, pos = sorted_find(self.ids, ids)
         stamps[found] = self.stamps[pos[found]]
         return found, stamps
@@ -76,7 +87,7 @@ class _FieldTable:
 
     def clear(self) -> None:
         self.ids = np.empty(0, dtype=np.int64)
-        self.stamps = np.empty(0, dtype=np.float64)
+        self.stamps = np.empty(0, dtype=self.stamp_dtype)
 
 
 class _DenseFieldTable:
@@ -84,18 +95,22 @@ class _DenseFieldTable:
 
     __slots__ = ("stamps",)
 
-    def __init__(self, num_rows: int) -> None:
-        self.stamps = np.full(num_rows, -np.inf)
+    def __init__(self, num_rows: int, stamp_dtype=np.float64) -> None:
+        self.stamps = np.full(num_rows, -np.inf, dtype=np.dtype(stamp_dtype))
 
     def __len__(self) -> int:
         return int((self.stamps > -np.inf).sum())
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.stamps.nbytes)
 
     def upsert(self, ids: np.ndarray, stamp: float) -> None:
         ids = ids[(ids >= 0) & (ids < self.stamps.size)]
         self.stamps[ids] = stamp
 
     def membership(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        stamps = np.full(ids.shape, -np.inf)
+        stamps = np.full(ids.shape, -np.inf, dtype=self.stamps.dtype)
         valid = (ids >= 0) & (ids < self.stamps.size)
         stamps[valid] = self.stamps[ids[valid]]
         return stamps > -np.inf, stamps
@@ -122,6 +137,9 @@ class HotIndexFilter:
         num_rows: optional id-universe size per field (or one size for
             all).  When given, that field uses the dense O(1)-per-id
             layout; ids outside ``[0, num_rows)`` are treated as cold.
+        stamp_dtype: dtype of the last-mark timestamps; ``np.float64``
+            (default) or ``np.float32`` (the serving lane's 4-bytes/row
+            configuration — sim-clock seconds only, not epoch seconds).
     """
 
     def __init__(
@@ -129,13 +147,18 @@ class HotIndexFilter:
         num_fields: int,
         expiry_s: float | None = None,
         num_rows: int | list[int] | None = None,
+        stamp_dtype=np.float64,
     ) -> None:
         if num_fields <= 0:
             raise ValueError("need at least one field")
         if expiry_s is not None and expiry_s <= 0:
             raise ValueError("expiry must be positive when set")
+        stamp_dtype = np.dtype(stamp_dtype)
+        if stamp_dtype.kind != "f":
+            raise TypeError("stamp_dtype must be a float dtype")
         self.num_fields = num_fields
         self.expiry_s = expiry_s
+        self.stamp_dtype = stamp_dtype
         if num_rows is None:
             sizes: list[int | None] = [None] * num_fields
         elif isinstance(num_rows, int):
@@ -145,9 +168,17 @@ class HotIndexFilter:
                 raise ValueError("num_rows must align with num_fields")
             sizes = list(num_rows)
         self._marked: list[_FieldTable | _DenseFieldTable] = [
-            _FieldTable() if n is None else _DenseFieldTable(n) for n in sizes
+            _FieldTable(stamp_dtype)
+            if n is None
+            else _DenseFieldTable(n, stamp_dtype)
+            for n in sizes
         ]
         self._now = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        """Filter footprint across all fields (the metadata budget line)."""
+        return sum(table.nbytes for table in self._marked)
 
     def mark(self, field: int, ids: np.ndarray, now: float | None = None) -> None:
         """Record ids as hot at time ``now`` (trainer update callback)."""

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .dtypes import as_uint64_keys
+from .dtypes import as_float_rows, as_uint64_keys
 
 __all__ = [
     "splitmix64",
@@ -171,26 +171,51 @@ class IdSlotTable:
 
     Parameters
     ----------
+    Keys (the ids themselves) are always int64; the *slot* side — the
+    parallel value array, the free stack and the dense direct-address
+    lane — is ``slot_dtype``-typed.  With ``slot_dtype=np.int32`` the
+    dense lane costs 4 bytes per universe row instead of 8, which is the
+    serving-lane configuration: slots index a bounded table, so int32
+    loses nothing as long as ``capacity`` fits (checked at construction).
+
+    Parameters
+    ----------
     capacity : int
         Maximum simultaneous id -> slot mappings (the slot budget).
     universe : int, optional
         Id space bound enabling the dense direct-address lane; ``None``
         keeps the purely sorted representation for unbounded ids.
+    slot_dtype : numpy dtype, optional
+        Dtype of the slot lane; int64 (train default) or int32 (the
+        serving lane's halved-metadata configuration).
     """
 
-    def __init__(self, capacity: int, universe: int | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        universe: int | None = None,
+        slot_dtype=np.int64,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if universe is not None and universe <= 0:
             raise ValueError("universe must be positive when set")
+        slot_dtype = np.dtype(slot_dtype)
+        if slot_dtype.kind != "i":
+            raise TypeError("slot_dtype must be a signed integer dtype")
+        if capacity > np.iinfo(slot_dtype).max:
+            raise OverflowError(
+                f"capacity {capacity} does not fit slot_dtype {slot_dtype}"
+            )
         self.capacity = capacity
         self.universe = universe
+        self.slot_dtype = slot_dtype
         self._keys = np.empty(0, dtype=np.int64)
-        self._vals = np.empty(0, dtype=np.int64)
+        self._vals = np.empty(0, dtype=slot_dtype)
         self._dense = (
-            None if universe is None else np.full(universe, -1, dtype=np.int64)
+            None if universe is None else np.full(universe, -1, dtype=slot_dtype)
         )
-        self._free = np.arange(capacity - 1, -1, -1, dtype=np.int64)
+        self._free = np.arange(capacity - 1, -1, -1, dtype=slot_dtype)
         self._n_free = capacity
 
     # ----------------------------------------------------------------- state
@@ -208,12 +233,20 @@ class IdSlotTable:
         """Slot per active id, aligned with :attr:`keys`."""
         return self._vals.copy()
 
+    @property
+    def nbytes(self) -> int:
+        """Map footprint: keys + slots + free stack + dense lane."""
+        total = self._keys.nbytes + self._vals.nbytes + self._free.nbytes
+        if self._dense is not None:
+            total += self._dense.nbytes
+        return int(total)
+
     def clear(self) -> None:
         if self._dense is not None:
             self._dense[self._keys] = -1  # O(active), not O(universe)
         self._keys = np.empty(0, dtype=np.int64)
-        self._vals = np.empty(0, dtype=np.int64)
-        self._free = np.arange(self.capacity - 1, -1, -1, dtype=np.int64)
+        self._vals = np.empty(0, dtype=self.slot_dtype)
+        self._free = np.arange(self.capacity - 1, -1, -1, dtype=self.slot_dtype)
         self._n_free = self.capacity
 
     def rebuild_sorted(self, keys: np.ndarray, capacity: int) -> None:
@@ -226,25 +259,33 @@ class IdSlotTable:
         n = keys.size
         if n > capacity:
             raise ValueError("more keys than capacity")
+        if capacity > np.iinfo(self.slot_dtype).max:
+            raise OverflowError(
+                f"capacity {capacity} does not fit slot_dtype {self.slot_dtype}"
+            )
         if self._dense is not None:
             self._dense[self._keys] = -1
         self.capacity = capacity
         self._keys = keys.copy()
-        self._vals = np.arange(n, dtype=np.int64)
+        self._vals = np.arange(n, dtype=self.slot_dtype)
         if self._dense is not None:
             self._dense[self._keys] = self._vals
-        self._free = np.empty(capacity, dtype=np.int64)
+        self._free = np.empty(capacity, dtype=self.slot_dtype)
         self._free[: capacity - n] = np.arange(
-            capacity - 1, n - 1, -1, dtype=np.int64
+            capacity - 1, n - 1, -1, dtype=self.slot_dtype
         )
         self._n_free = capacity - n
 
     @classmethod
     def from_sorted_keys(
-        cls, keys: np.ndarray, capacity: int, universe: int | None = None
+        cls,
+        keys: np.ndarray,
+        capacity: int,
+        universe: int | None = None,
+        slot_dtype=np.int64,
     ) -> "IdSlotTable":
         """Table where ``keys`` (sorted, unique) occupy slots ``0..n-1``."""
-        table = cls(capacity, universe=universe)
+        table = cls(capacity, universe=universe, slot_dtype=slot_dtype)
         table.rebuild_sorted(keys, capacity)
         return table
 
@@ -270,17 +311,17 @@ class IdSlotTable:
 
         Returns
         -------
-        numpy.ndarray of int64
+        numpy.ndarray of :attr:`slot_dtype`
             Slot per id, ``-1`` where the id is not in the table (or
             outside the dense lane's universe).
         """
         ids = np.asarray(ids, dtype=np.int64)
         if self._dense is not None:
-            out = np.full(ids.shape, -1, dtype=np.int64)
+            out = np.full(ids.shape, -1, dtype=self.slot_dtype)
             valid = (ids >= 0) & (ids < self._dense.size)
             out[valid] = self._dense[ids[valid]]
             return out
-        out = np.full(ids.shape, -1, dtype=np.int64)
+        out = np.full(ids.shape, -1, dtype=self.slot_dtype)
         found, pos = sorted_find(self._keys, ids)
         out[found] = self._vals[pos[found]]
         return out
@@ -315,10 +356,10 @@ class IdSlotTable:
 
         Returns
         -------
-        slots : numpy.ndarray of int64
+        slots : numpy.ndarray of :attr:`slot_dtype`
             Slot per id, aligned with ``ids``; ``-1`` when the table ran
             out of capacity.
-        new_slots : numpy.ndarray of int64
+        new_slots : numpy.ndarray of :attr:`slot_dtype`
             Slots granted to previously-absent ids, in grant order —
             callers typically need to zero the backing rows.
         """
@@ -329,12 +370,12 @@ class IdSlotTable:
             # Out-of-universe ids can never be granted a slot.
             missing &= (ids >= 0) & (ids < self._dense.size)
         if not missing.any():
-            return slots, np.empty(0, dtype=np.int64)
+            return slots, np.empty(0, dtype=self.slot_dtype)
         new_ids, first_pos = np.unique(ids[missing], return_index=True)
         order = np.argsort(first_pos, kind="stable")  # first-occurrence order
         granted = new_ids[order][: self._n_free]
         if granted.size == 0:
-            return slots, np.empty(0, dtype=np.int64)
+            return slots, np.empty(0, dtype=self.slot_dtype)
         new_slots = self._pop(granted.size)
         merged_keys = np.concatenate([self._keys, granted])
         merged_vals = np.concatenate([self._vals, new_slots])
@@ -355,17 +396,17 @@ class IdSlotTable:
 
         Returns
         -------
-        numpy.ndarray of int64
+        numpy.ndarray of :attr:`slot_dtype`
             The released slots (pushed back onto the free stack,
             most-recently-freed reused first).
         """
         ids = np.unique(np.asarray(ids, dtype=np.int64))
         if ids.size == 0 or self._keys.size == 0:
-            return np.empty(0, dtype=np.int64)
+            return np.empty(0, dtype=self.slot_dtype)
         found, pos = sorted_find(self._keys, ids)
         hit = pos[found]
         if hit.size == 0:
-            return np.empty(0, dtype=np.int64)
+            return np.empty(0, dtype=self.slot_dtype)
         released = self._vals[hit].copy()
         if self._dense is not None:
             self._dense[self._keys[hit]] = -1
@@ -424,16 +465,20 @@ def pool_rows(
     Returns
     -------
     numpy.ndarray
-        ``(batch, d)`` pooled rows, float64.
+        ``(batch, d)`` pooled rows, on the same float lane as ``source``
+        (float32 sources pool to float32; integer sources upcast to
+        float64, the training lane's default).
     """
     if mode not in ("mean", "sum"):
         raise ValueError("mode must be 'mean' or 'sum'")
+    source = as_float_rows(source, name="source")
+    lane = source.dtype
     ids = np.asarray(ids, dtype=np.int64)
     offsets = np.asarray(offsets, dtype=np.int64)
     batch = offsets.shape[0] - 1
     if ids.size == 0 or batch == 0:
         return np.zeros(
-            (batch if batch > 0 else 0, source.shape[1]), dtype=np.float64
+            (batch if batch > 0 else 0, source.shape[1]), dtype=lane
         )
     sizes = np.diff(offsets)
     starts = offsets[:-1]
@@ -441,9 +486,9 @@ def pool_rows(
     if min_size < 0:
         raise ValueError("offsets must be non-decreasing")
     if min_size > 0:  # every bag written below: skip the zero fill
-        out = np.empty((batch, source.shape[1]), dtype=np.float64)
+        out = np.empty((batch, source.shape[1]), dtype=lane)
     else:
-        out = np.zeros((batch, source.shape[1]), dtype=np.float64)
+        out = np.zeros((batch, source.shape[1]), dtype=lane)
     for size, bags in _size_classes(sizes):
         bag_starts = starts[bags]
         if size == 1:  # singleton bags: the pool is the row itself
@@ -491,9 +536,9 @@ def segment_pool(
     Returns
     -------
     numpy.ndarray
-        ``(batch, d)`` pooled rows, float64.
+        ``(batch, d)`` pooled rows, on ``values``' float lane.
     """
-    vals = np.asarray(values, dtype=np.float64)
+    vals = as_float_rows(values, name="values")
     positions = np.arange(vals.shape[0], dtype=np.int64)
     return pool_rows(vals, positions, offsets, mode)
 
@@ -525,13 +570,16 @@ def group_rows_sum(
     uniq : numpy.ndarray of int64
         Sorted unique ids.
     summed : numpy.ndarray
-        ``(len(uniq), d)`` accumulated rows, float64.
+        ``(len(uniq), d)`` accumulated rows, on ``rows``' float lane
+        (the counting lane accumulates in float64 regardless, then
+        rounds once back onto the input lane).
     """
     ids = np.asarray(ids, dtype=np.int64)
-    rows = np.asarray(rows, dtype=np.float64)
+    rows = as_float_rows(rows, name="rows")
+    lane = rows.dtype
     if ids.size == 0:
         return ids.copy(), np.zeros(
-            (0, rows.shape[1] if rows.ndim == 2 else 0), dtype=np.float64
+            (0, rows.shape[1] if rows.ndim == 2 else 0), dtype=lane
         )
     dim = rows.shape[1]
     # Counting lane: bincount beats sorting unless the table is
@@ -547,12 +595,14 @@ def group_rows_sum(
         summed = np.bincount(
             keys.ravel(), weights=rows.ravel(), minlength=uniq.size * dim
         )
-        return uniq, summed.reshape(uniq.size, dim)
+        # bincount always counts in float64; one rounding back onto the
+        # input lane keeps the output dtype contract.
+        return uniq, summed.reshape(uniq.size, dim).astype(lane, copy=False)
     uniq, inv, occ_counts = np.unique(
         ids, return_inverse=True, return_counts=True
     )
     dup_occ = occ_counts[inv] > 1
-    summed = np.zeros((uniq.size, dim), dtype=np.float64)
+    summed = np.zeros((uniq.size, dim), dtype=lane)
     single = ~dup_occ
     summed[inv[single]] = rows[single]
     if dup_occ.any():

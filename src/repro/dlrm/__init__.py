@@ -10,7 +10,7 @@ from .multihot import MultiHotField, PooledFieldLayer
 from .embedding import EmbeddingBagCollection, EmbeddingTable, SparseRowGrad
 from .interaction import DotInteraction
 from .metrics import StreamingAUC, auc_roc, calibration_ratio, log_loss
-from .mlp import MLP, DenseGrads
+from .mlp import MLP, ActivationCache, DenseGrads, clip_by_global_norm
 from .model import DLRM, DLRMConfig, ForwardCache, TrainStepResult, sigmoid
 from .optim import SGD, RowwiseAdagrad
 
@@ -25,7 +25,9 @@ __all__ = [
     "SparseRowGrad",
     "DotInteraction",
     "MLP",
+    "ActivationCache",
     "DenseGrads",
+    "clip_by_global_norm",
     "SGD",
     "RowwiseAdagrad",
     "Checkpoint",

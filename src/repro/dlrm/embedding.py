@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.dtypes import as_float_rows
 from ..core.kernels import TouchedRows, group_rows_sum, pool_rows
 from ..obs.metrics import registry as _obs_registry
 
@@ -59,7 +60,7 @@ class SparseRowGrad:
 
     def __post_init__(self) -> None:
         self.indices = np.asarray(self.indices, dtype=np.int64)
-        self.rows = np.asarray(self.rows, dtype=np.float64)
+        self.rows = as_float_rows(self.rows, name="grad rows")
         if self.indices.ndim != 1:
             raise ValueError("indices must be 1-D")
         if self.rows.ndim != 2 or self.rows.shape[0] != self.indices.shape[0]:
@@ -72,7 +73,7 @@ class SparseRowGrad:
 
     def to_dense(self, num_rows: int) -> np.ndarray:
         """Materialise the dense ``(num_rows, d)`` gradient (tests/analysis)."""
-        dense = np.zeros((num_rows, self.rows.shape[1]), dtype=np.float64)
+        dense = np.zeros((num_rows, self.rows.shape[1]), dtype=self.rows.dtype)
         dense[self.indices] = self.rows
         return dense
 
@@ -91,6 +92,8 @@ class EmbeddingTable:
         init_scale: stddev of the uniform init, following DLRM's
             ``U(-1/sqrt(|V|), 1/sqrt(|V|))`` convention when ``None``.
         name: optional label used in diagnostics.
+        dtype: row lane of the table; float64 (train default) or
+            float32 (serving lane).  Initialisation respects it.
     """
 
     def __init__(
@@ -100,12 +103,16 @@ class EmbeddingTable:
         rng: np.random.Generator | None = None,
         init_scale: float | None = None,
         name: str = "",
+        dtype=np.float64,
     ) -> None:
         if num_rows <= 0 or dim <= 0:
             raise ValueError("num_rows and dim must be positive")
-        rng = rng or np.random.default_rng(0)
+        if rng is None:
+            rng = np.random.default_rng(0)
         scale = init_scale if init_scale is not None else 1.0 / np.sqrt(num_rows)
-        self.weight = rng.uniform(-scale, scale, size=(num_rows, dim))
+        self.weight = rng.uniform(-scale, scale, size=(num_rows, dim)).astype(
+            np.dtype(dtype), copy=False
+        )
         self.name = name or f"emt_{num_rows}x{dim}"
         # Row-level bookkeeping used by delta-update strategies and by the
         # Fig. 3a experiment (fraction of rows touched per window).
@@ -119,6 +126,11 @@ class EmbeddingTable:
     @property
     def dim(self) -> int:
         return int(self.weight.shape[1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Row lane of the table."""
+        return self.weight.dtype
 
     @property
     def nbytes(self) -> int:
@@ -159,7 +171,7 @@ class EmbeddingTable:
     ) -> SparseRowGrad:
         """Accumulate per-sample output gradients into unique row gradients."""
         ids = np.asarray(ids, dtype=np.int64)
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=self.weight.dtype)
         uniq, rows = group_rows_sum(ids, grad_out, num_rows=self.num_rows)
         return SparseRowGrad(uniq, rows)
 
@@ -179,7 +191,7 @@ class EmbeddingTable:
         """
         ids = np.asarray(ids, dtype=np.int64)
         offsets = np.asarray(offsets, dtype=np.int64)
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=self.weight.dtype)
         sizes = np.diff(offsets)
         if int(sizes.sum()) != ids.shape[0]:
             raise ValueError("offsets do not cover the id stream")
@@ -240,6 +252,22 @@ class EmbeddingTable:
         dup._touched = TouchedRows(self.num_rows)
         return dup
 
+    def cast(self, policy) -> "EmbeddingTable":
+        """Clone onto ``policy``'s row lane through one checked coercion.
+
+        This is the publish-time downcast of the serving dataflow: the
+        float64 train table stays authoritative; the returned table
+        carries float32 rows (half the bytes) and a clean touch log.
+        Raises if any weight exceeds the policy's downcast tolerance.
+        """
+        dup = EmbeddingTable.__new__(EmbeddingTable)
+        dup.weight = np.array(
+            policy.as_rows(self.weight, name=f"table {self.name}"), copy=True
+        )
+        dup.name = self.name
+        dup._touched = TouchedRows(self.num_rows)
+        return dup
+
 
 @dataclass
 class EmbeddingBagCollection:
@@ -293,3 +321,7 @@ class EmbeddingBagCollection:
 
     def copy(self) -> "EmbeddingBagCollection":
         return EmbeddingBagCollection([t.copy() for t in self.tables])
+
+    def cast(self, policy) -> "EmbeddingBagCollection":
+        """Collection clone on ``policy``'s row lane (checked downcast)."""
+        return EmbeddingBagCollection([t.cast(policy) for t in self.tables])

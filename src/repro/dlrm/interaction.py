@@ -15,16 +15,47 @@ __all__ = ["DotInteraction"]
 
 
 class DotInteraction:
-    """Pairwise dot-product interaction with dense passthrough."""
+    """Pairwise dot-product interaction with dense passthrough.
 
-    def __init__(self, num_features: int, dim: int) -> None:
+    The whole pass is batched: features stack into one ``(batch, m, d)``
+    block, the pairwise products are one batched gram matmul, and the
+    ``C(m, 2)`` distinct pairs are gathered by fixed upper-triangle
+    indices — no per-pair loop in either direction.  ``dtype`` selects
+    the lane (float64 train / float32 serve).
+    """
+
+    def __init__(self, num_features: int, dim: int, dtype=np.float64) -> None:
         """``num_features`` counts the dense vector plus every sparse field."""
         if num_features < 2:
             raise ValueError("interaction needs at least two feature vectors")
         self.num_features = num_features
         self.dim = dim
+        self.dtype = np.dtype(dtype)
         # Upper-triangle index pairs, fixed ordering shared by fwd/bwd.
         self._li, self._lj = np.triu_indices(num_features, k=1)
+        # Flattened (m, m) offsets of both triangles: gather/scatter on the
+        # reshaped gram avoids the slower two-axis fancy-indexing path.
+        self._flat_upper = self._li * num_features + self._lj
+        self._flat_lower = self._lj * num_features + self._li
+        # Per-batch-size scratch (gram and its gradient) reused across
+        # steps; neither escapes, so reuse is invisible to callers.
+        self._scratch_batch = 0
+        self._gram = np.zeros((0, 0, 0), dtype=self.dtype)
+        self._gram_grad = np.zeros((0, 0, 0), dtype=self.dtype)
+
+    def _scratch(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
+        """Reusable ``(gram, gram_grad)`` buffers for ``batch`` samples.
+
+        ``gram_grad`` is zero-initialised once; backward only ever writes
+        the two strict triangles, so the diagonal stays zero without a
+        per-step refill.
+        """
+        if self._scratch_batch != batch:
+            m = self.num_features
+            self._gram = np.empty((batch, m, m), dtype=self.dtype)
+            self._gram_grad = np.zeros((batch, m, m), dtype=self.dtype)
+            self._scratch_batch = batch
+        return self._gram, self._gram_grad
 
     @property
     def output_dim(self) -> int:
@@ -45,16 +76,26 @@ class DotInteraction:
             ``(output, stacked)`` where ``output`` is ``(batch, output_dim)``
             and ``stacked`` is the ``(batch, m, d)`` cache for backward.
         """
-        feats = [np.asarray(dense, dtype=np.float64)]
-        feats.extend(np.asarray(e, dtype=np.float64) for e in embeddings)
+        feats = [np.asarray(dense, dtype=self.dtype)]
+        feats.extend(np.asarray(e, dtype=self.dtype) for e in embeddings)
         if len(feats) != self.num_features:
             raise ValueError(
                 f"expected {self.num_features} feature vectors, got {len(feats)}"
             )
         stacked = np.stack(feats, axis=1)  # (batch, m, d)
-        gram = stacked @ stacked.transpose(0, 2, 1)  # (batch, m, m)
-        pairs = gram[:, self._li, self._lj]  # (batch, C(m,2))
-        out = np.concatenate([stacked[:, 0, :], pairs], axis=1)
+        batch, m = stacked.shape[0], self.num_features
+        gram, _ = self._scratch(batch)
+        np.matmul(stacked, stacked.transpose(0, 2, 1), out=gram)
+        out = np.empty((batch, self.output_dim), dtype=self.dtype)
+        out[:, : self.dim] = stacked[:, 0, :]
+        # Gather the C(m,2) distinct pairs straight into the output slab;
+        # ``np.take`` with ``out=`` skips the intermediate pair array.
+        np.take(
+            gram.reshape(batch, m * m),
+            self._flat_upper,
+            axis=1,
+            out=out[:, self.dim :],
+        )
         return out, stacked
 
     def backward(
@@ -70,15 +111,18 @@ class DotInteraction:
             ``(grad_dense, grad_embeddings)`` matching forward's inputs.
         """
         batch, m, d = stacked.shape
-        grad_out = np.asarray(grad_out, dtype=np.float64)
+        grad_out = np.asarray(grad_out, dtype=self.dtype)
         grad_dense_passthrough = grad_out[:, : self.dim]
         grad_pairs = grad_out[:, self.dim :]  # (batch, C(m,2))
 
         # d(x_i . x_j)/dx_i = x_j and vice versa: scatter pair grads into a
-        # symmetric (m, m) matrix per sample, then one batched matmul.
-        gram_grad = np.zeros((batch, m, m))
-        gram_grad[:, self._li, self._lj] = grad_pairs
-        gram_grad[:, self._lj, self._li] = grad_pairs
+        # symmetric (m, m) matrix per sample, then one batched matmul.  The
+        # scratch buffer's diagonal is zero and both triangles are fully
+        # overwritten every call, so no per-step zero fill is needed.
+        _, gram_grad = self._scratch(batch)
+        flat_grad = gram_grad.reshape(batch, m * m)
+        flat_grad[:, self._flat_upper] = grad_pairs
+        flat_grad[:, self._flat_lower] = grad_pairs
         grad_stacked = gram_grad @ stacked  # (batch, m, d)
         grad_stacked[:, 0, :] += grad_dense_passthrough
 

@@ -1,36 +1,147 @@
 """Dense multi-layer perceptrons used for DLRM's bottom and top networks.
 
-Implements exact forward/backward passes in NumPy with ReLU hidden layers and
-an optional sigmoid-free final layer (the loss applies the sigmoid).  Kept
-deliberately simple: DLRM's dense parts are small compared to the embedding
-tables, and the paper freezes them during inference-side LoRA training anyway.
+Exact forward/backward passes in NumPy with ReLU hidden layers and an
+optional sigmoid-free final layer (the loss applies the sigmoid).  Both
+passes are *fused* over the whole batch:
+
+* :meth:`MLP.forward` writes every layer's activations into one
+  preallocated :class:`ActivationCache` buffer (matmuls land via
+  ``out=`` into contiguous views — no per-layer list churn, no
+  intermediate allocations beyond the single cache);
+* :meth:`MLP.backward` writes every parameter gradient into one flat
+  buffer whose per-layer views form the returned :class:`DenseGrads`,
+  so a whole SGD step is one fused ``params -= lr * flat`` axpy.
+
+Parameters live in a single flat buffer too; ``weights``/``biases`` are
+reshaped views over it, so existing per-layer access (tests, Adagrad
+state, checkpoints) sees ordinary mutable arrays while the fused paths
+touch one allocation.  The parameter dtype is configurable — float64 on
+the training lane, float32 when an MLP is cast onto the serving lane
+via :meth:`MLP.cast` — and initialisation respects it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-__all__ = ["DenseGrads", "MLP"]
+__all__ = ["ActivationCache", "DenseGrads", "MLP", "clip_by_global_norm"]
 
 
-@dataclass
+def _param_views(
+    flat: np.ndarray,
+    weight_shapes: list[tuple[int, int]],
+    bias_shapes: list[tuple[int]],
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Carve ``flat`` into per-layer weight/bias views (weights first)."""
+    weights: list[np.ndarray] = []
+    biases: list[np.ndarray] = []
+    offset = 0
+    for shape in weight_shapes:
+        n = shape[0] * shape[1]
+        weights.append(flat[offset : offset + n].reshape(shape))
+        offset += n
+    for shape in bias_shapes:
+        n = shape[0]
+        biases.append(flat[offset : offset + n])
+        offset += n
+    return weights, biases
+
+
+class ActivationCache:
+    """Whole-forward activation storage in one preallocated buffer.
+
+    ``cache[i]`` is the contiguous ``(batch, dims[i])`` view holding
+    layer ``i``'s input (``cache[0]`` is the network input, ``cache[-1]``
+    the network output) — the same indexing contract as the seed-era
+    per-layer list, without the per-layer allocations.
+    """
+
+    __slots__ = ("_buf", "_views")
+
+    def __init__(self, batch: int, dims: list[int], dtype) -> None:
+        self._buf = np.empty(batch * sum(dims), dtype=dtype)
+        self._views: list[np.ndarray] = []
+        offset = 0
+        for d in dims:
+            self._views.append(
+                self._buf[offset : offset + batch * d].reshape(batch, d)
+            )
+            offset += batch * d
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self._views[i]
+
+    @property
+    def nbytes(self) -> int:
+        """Cache footprint: the one buffer backing every layer."""
+        return int(self._buf.nbytes)
+
+
 class DenseGrads:
-    """Gradients for one MLP: per-layer weight and bias arrays."""
+    """Gradients for one MLP: per-layer weight and bias arrays.
 
-    weights: list[np.ndarray]
-    biases: list[np.ndarray]
+    When produced by :meth:`MLP.backward` the per-layer arrays are views
+    over one flat buffer (:attr:`flat`), so norms, scaling and the SGD
+    update are single vectorized passes instead of per-layer loops.
+    Constructing one from plain lists (external code, tests) still
+    works; :attr:`flat` then concatenates on demand.
+    """
+
+    __slots__ = ("weights", "biases", "_flat")
+
+    def __init__(
+        self,
+        weights: list[np.ndarray],
+        biases: list[np.ndarray],
+        flat: np.ndarray | None = None,
+    ) -> None:
+        self.weights = weights
+        self.biases = biases
+        self._flat = flat
+
+    @property
+    def flat(self) -> np.ndarray:
+        """All gradient elements as one 1-D array (weights then biases)."""
+        if self._flat is not None:
+            return self._flat
+        parts = [w.ravel() for w in self.weights]
+        parts += [b.ravel() for b in self.biases]
+        if not parts:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(parts)
 
     def scaled(self, factor: float) -> "DenseGrads":
-        return DenseGrads(
-            [w * factor for w in self.weights], [b * factor for b in self.biases]
+        flat = self.flat * factor
+        weights, biases = _param_views(
+            flat,
+            [w.shape for w in self.weights],
+            [b.shape for b in self.biases],
         )
+        return DenseGrads(weights, biases, flat)
 
     def global_norm(self) -> float:
-        sq = sum(float((w ** 2).sum()) for w in self.weights)
-        sq += sum(float((b ** 2).sum()) for b in self.biases)
-        return float(np.sqrt(sq))
+        """L2 norm over every element — one flat dot, no per-layer sum."""
+        flat = self.flat
+        return float(np.sqrt(flat @ flat))
+
+
+def clip_by_global_norm(
+    grads: DenseGrads, max_norm: float
+) -> tuple[DenseGrads, float]:
+    """Scale ``grads`` so its global L2 norm is at most ``max_norm``.
+
+    Returns ``(clipped, pre_clip_norm)``; when the norm is already
+    within budget the input object passes through unscaled.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = grads.global_norm()
+    if norm <= max_norm:
+        return grads, norm
+    return grads.scaled(max_norm / norm), norm
 
 
 class MLP:
@@ -39,6 +150,18 @@ class MLP:
     Hidden activations are ReLU; the output layer is linear unless
     ``final_relu`` is set (DLRM's bottom MLP conventionally ends in ReLU so
     dense features live in the same non-negative space as embeddings).
+
+    Parameters
+    ----------
+    dims : list[int]
+        Layer widths, input first.
+    rng : numpy.random.Generator, optional
+        Weight-init stream; a fixed default seed when omitted.
+    final_relu : bool, optional
+        Apply ReLU after the last layer too.
+    dtype : numpy dtype, optional
+        Parameter/activation lane; float64 (train default) or float32
+        (serving lane).  Initialisation respects it.
     """
 
     def __init__(
@@ -46,19 +169,29 @@ class MLP:
         dims: list[int],
         rng: np.random.Generator | None = None,
         final_relu: bool = False,
+        dtype=np.float64,
     ) -> None:
         if len(dims) < 2:
             raise ValueError("MLP needs at least input and output dims")
-        rng = rng or np.random.default_rng(0)
+        if rng is None:
+            rng = np.random.default_rng(0)
         self.dims = list(dims)
         self.final_relu = final_relu
-        self.weights: list[np.ndarray] = []
-        self.biases: list[np.ndarray] = []
-        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
-            # He initialisation for the ReLU stack.
+        self.dtype = np.dtype(dtype)
+        w_shapes = [(fi, fo) for fi, fo in zip(dims[:-1], dims[1:])]
+        b_shapes = [(fo,) for fo in dims[1:]]
+        total = sum(fi * fo for fi, fo in w_shapes) + sum(dims[1:])
+        self._params = np.empty(total, dtype=self.dtype)
+        self.weights, self.biases = _param_views(
+            self._params, w_shapes, b_shapes
+        )
+        for w, (fan_in, _) in zip(self.weights, w_shapes):
+            # He initialisation for the ReLU stack; the view assignment
+            # rounds the float64 draw onto the configured lane.
             std = np.sqrt(2.0 / fan_in)
-            self.weights.append(rng.normal(0.0, std, size=(fan_in, fan_out)))
-            self.biases.append(np.zeros(fan_out))
+            w[...] = rng.normal(0.0, std, size=w.shape)
+        for b in self.biases:
+            b[...] = 0.0
 
     @property
     def num_layers(self) -> int:
@@ -66,52 +199,79 @@ class MLP:
 
     @property
     def num_params(self) -> int:
-        return sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+        return int(self._params.size)
 
-    def forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, ActivationCache]:
         """Run the network; returns output and the activation cache.
 
-        The cache holds the *input* of every layer (post-activation of the
-        previous one) followed by the pre-activation of the final layer, which
-        is what :meth:`backward` needs.
+        The cache holds the *input* of every layer (post-activation of
+        the previous one) followed by the final layer's output — one
+        preallocated buffer for the whole pass; every matmul lands in
+        its slice via ``out=``.
         """
-        x = np.asarray(x, dtype=np.float64)
-        cache = [x]
-        h = x
+        x = np.asarray(x, dtype=self.dtype)
+        if x.ndim != 2 or x.shape[1] != self.dims[0]:
+            raise ValueError(
+                f"expected input of shape (batch, {self.dims[0]}), "
+                f"got {x.shape}"
+            )
+        cache = ActivationCache(x.shape[0], self.dims, self.dtype)
+        cache[0][...] = x
+        h = cache[0]
+        last = self.num_layers - 1
         for layer, (w, b) in enumerate(zip(self.weights, self.biases)):
-            z = h @ w + b
-            is_last = layer == self.num_layers - 1
-            h = np.maximum(z, 0.0) if (not is_last or self.final_relu) else z
-            cache.append(h)
+            z = cache[layer + 1]
+            np.matmul(h, w, out=z)
+            z += b
+            if layer != last or self.final_relu:
+                np.maximum(z, 0.0, out=z)
+            h = z
         return h, cache
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)[0]
 
     def backward(
-        self, cache: list[np.ndarray], grad_out: np.ndarray
+        self, cache: ActivationCache, grad_out: np.ndarray
     ) -> tuple[np.ndarray, DenseGrads]:
         """Backprop ``grad_out`` through the cached forward pass.
 
-        Returns the gradient w.r.t. the network input and parameter grads.
+        Returns the gradient w.r.t. the network input and parameter
+        grads.  All parameter gradients are written into one flat buffer
+        (per-layer views via ``out=``), so the optimizer's update is a
+        single axpy over the buffer.
         """
-        grad_w = [np.zeros_like(w) for w in self.weights]
-        grad_b = [np.zeros_like(b) for b in self.biases]
-        g = np.asarray(grad_out, dtype=np.float64)
-        for layer in range(self.num_layers - 1, -1, -1):
+        flat = np.empty(self._params.size, dtype=self.dtype)
+        grad_w, grad_b = _param_views(
+            flat,
+            [w.shape for w in self.weights],
+            [b.shape for b in self.biases],
+        )
+        # Private copy: the ReLU mask is applied in place below.
+        g = np.array(grad_out, dtype=self.dtype)
+        last = self.num_layers - 1
+        for layer in range(last, -1, -1):
             h_out = cache[layer + 1]
             h_in = cache[layer]
-            is_last = layer == self.num_layers - 1
-            if not is_last or self.final_relu:
+            if layer != last or self.final_relu:
                 # ReLU derivative via the cached post-activation.
-                g = g * (h_out > 0.0)
-            grad_w[layer] = h_in.T @ g
-            grad_b[layer] = g.sum(axis=0)
+                np.multiply(g, h_out > 0.0, out=g)
+            np.matmul(h_in.T, g, out=grad_w[layer])
+            g.sum(axis=0, out=grad_b[layer])
             g = g @ self.weights[layer].T
-        return g, DenseGrads(grad_w, grad_b)
+        return g, DenseGrads(grad_w, grad_b, flat)
 
     def apply_grads(self, grads: DenseGrads, lr: float) -> None:
-        """In-place SGD step."""
+        """In-place SGD step — one fused axpy when the grads are
+        flat-backed (the :meth:`backward` product), per-layer otherwise."""
+        flat = grads._flat
+        if (
+            flat is not None
+            and flat.size == self._params.size
+            and flat.dtype == self.dtype
+        ):
+            self._params -= lr * flat
+            return
         for w, gw in zip(self.weights, grads.weights):
             w -= lr * gw
         for b, gb in zip(self.biases, grads.biases):
@@ -121,6 +281,32 @@ class MLP:
         dup = MLP.__new__(MLP)
         dup.dims = list(self.dims)
         dup.final_relu = self.final_relu
-        dup.weights = [w.copy() for w in self.weights]
-        dup.biases = [b.copy() for b in self.biases]
+        dup.dtype = self.dtype
+        dup._params = self._params.copy()
+        dup.weights, dup.biases = _param_views(
+            dup._params,
+            [w.shape for w in self.weights],
+            [b.shape for b in self.biases],
+        )
+        return dup
+
+    def cast(self, policy) -> "MLP":
+        """Clone onto ``policy``'s row lane through one checked coercion.
+
+        ``policy`` is a :class:`repro.core.dtypes.DTypePolicy`; casting
+        train-lane float64 parameters onto the float32 serving lane
+        raises if any value exceeds the policy's downcast tolerance.
+        """
+        dup = MLP.__new__(MLP)
+        dup.dims = list(self.dims)
+        dup.final_relu = self.final_relu
+        dup.dtype = np.dtype(policy.row_dtype)
+        dup._params = np.array(
+            policy.as_rows(self._params, name="mlp params"), copy=True
+        )
+        dup.weights, dup.biases = _param_views(
+            dup._params,
+            [w.shape for w in self.weights],
+            [b.shape for b in self.biases],
+        )
         return dup

@@ -24,14 +24,15 @@ step 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
 
+from ..core.dtypes import SERVE, TRAIN, DTypePolicy, as_float_rows
 from .embedding import EmbeddingBagCollection, EmbeddingTable, SparseRowGrad
 from .interaction import DotInteraction
-from .mlp import MLP, DenseGrads
+from .mlp import MLP, ActivationCache, DenseGrads
 
 __all__ = ["DLRMConfig", "ForwardCache", "TrainStepResult", "DLRM", "sigmoid"]
 
@@ -40,8 +41,9 @@ EmbeddingOverlay = Callable[[int, np.ndarray, np.ndarray], np.ndarray]
 
 
 def sigmoid(z: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    z = np.asarray(z, dtype=np.float64)
+    """Numerically stable logistic function (lane-preserving: float32
+    logits yield float32 probabilities)."""
+    z = as_float_rows(z, name="logits")
     out = np.empty_like(z)
     pos = z >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
@@ -61,6 +63,9 @@ class DLRMConfig:
         bottom_mlp: hidden sizes of the bottom MLP (output forced to ``d``).
         top_mlp: hidden sizes of the top MLP (output forced to 1 logit).
         seed: RNG seed for parameter init.
+        policy: dtype lane of the whole dense stack —
+            :data:`repro.core.dtypes.TRAIN` (float64, the default) or
+            :data:`repro.core.dtypes.SERVE` (float32 rows throughout).
     """
 
     num_dense: int = 4
@@ -69,6 +74,7 @@ class DLRMConfig:
     bottom_mlp: tuple[int, ...] = (32, 16)
     top_mlp: tuple[int, ...] = (64, 32)
     seed: int = 0
+    policy: DTypePolicy = TRAIN
 
     def validate(self) -> None:
         if self.num_dense <= 0 or self.embedding_dim <= 0:
@@ -83,9 +89,9 @@ class ForwardCache:
 
     dense_in: np.ndarray
     sparse_ids: np.ndarray
-    bottom_cache: list[np.ndarray]
+    bottom_cache: ActivationCache
     stacked: np.ndarray
-    top_cache: list[np.ndarray]
+    top_cache: ActivationCache
     logits: np.ndarray
     probs: np.ndarray
 
@@ -109,18 +115,26 @@ class DLRM:
         self.config = config
         rng = np.random.default_rng(config.seed)
         d = config.embedding_dim
+        lane = config.policy.row_dtype
         self.embeddings = EmbeddingBagCollection(
             [
-                EmbeddingTable(size, d, rng=rng, name=f"table_{f}")
+                EmbeddingTable(size, d, rng=rng, name=f"table_{f}", dtype=lane)
                 for f, size in enumerate(config.table_sizes)
             ]
         )
         self.bottom = MLP(
-            [config.num_dense, *config.bottom_mlp, d], rng=rng, final_relu=True
+            [config.num_dense, *config.bottom_mlp, d],
+            rng=rng,
+            final_relu=True,
+            dtype=lane,
         )
         num_features = 1 + len(config.table_sizes)
-        self.interaction = DotInteraction(num_features, d)
-        self.top = MLP([self.interaction.output_dim, *config.top_mlp, 1], rng=rng)
+        self.interaction = DotInteraction(num_features, d, dtype=lane)
+        self.top = MLP(
+            [self.interaction.output_dim, *config.top_mlp, 1],
+            rng=rng,
+            dtype=lane,
+        )
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -150,7 +164,7 @@ class DLRM:
             overlay: optional per-field adjustment applied to looked-up rows
                 (LiveUpdate's hot-id LoRA path).
         """
-        dense = np.asarray(dense, dtype=np.float64)
+        dense = self.config.policy.as_rows(dense, name="dense features")
         sparse_ids = np.asarray(sparse_ids, dtype=np.int64)
         bottom_out, bottom_cache = self.bottom.forward(dense)
         emb = []
@@ -186,7 +200,9 @@ class DLRM:
         self, cache: ForwardCache, labels: np.ndarray
     ) -> TrainStepResult:
         """BCE backward pass from a cached forward."""
-        labels = np.asarray(labels, dtype=np.float64).ravel()
+        # Labels join on the model's lane so the loss and every gradient
+        # stay in one dtype instead of silently upcasting to float64.
+        labels = np.asarray(labels, dtype=cache.probs.dtype).ravel()
         batch = labels.shape[0]
         probs = cache.probs
         eps = 1e-12
@@ -256,7 +272,31 @@ class DLRM:
         dup.bottom = self.bottom.copy()
         dup.top = self.top.copy()
         dup.interaction = DotInteraction(
-            self.interaction.num_features, self.interaction.dim
+            self.interaction.num_features,
+            self.interaction.dim,
+            dtype=self.interaction.dtype,
+        )
+        return dup
+
+    def serving_copy(self, policy: DTypePolicy = SERVE) -> "DLRM":
+        """Publish-time clone on the serving lane.
+
+        Every parameter crosses the train -> serve boundary through one
+        checked downcast (raising past the policy's tolerance); the
+        returned model runs its whole dense stack — lookups, MLPs,
+        interaction, sigmoid — in ``policy.row_dtype``, halving row
+        bytes at float32.  The training model stays authoritative and
+        untouched.
+        """
+        dup = DLRM.__new__(DLRM)
+        dup.config = replace(self.config, policy=policy)
+        dup.embeddings = self.embeddings.cast(policy)
+        dup.bottom = self.bottom.cast(policy)
+        dup.top = self.top.cast(policy)
+        dup.interaction = DotInteraction(
+            self.interaction.num_features,
+            self.interaction.dim,
+            dtype=policy.row_dtype,
         )
         return dup
 

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..obs.metrics import registry as _obs_registry
 from .embedding import EmbeddingTable, SparseRowGrad
-from .mlp import MLP, DenseGrads
+from .mlp import MLP, DenseGrads, _param_views, clip_by_global_norm
 
 __all__ = ["SGD", "RowwiseAdagrad"]
 
@@ -32,14 +32,24 @@ _ROWS_UPDATED = _REG.counter(
 
 
 class SGD:
-    """Plain SGD for dense modules and sparse embedding rows."""
+    """Plain SGD for dense modules and sparse embedding rows.
 
-    def __init__(self, lr: float = 0.01) -> None:
+    ``max_grad_norm`` enables global-norm clipping of dense grads (one
+    flat-buffer norm + scale via
+    :func:`~repro.dlrm.mlp.clip_by_global_norm`); ``None`` disables it.
+    """
+
+    def __init__(self, lr: float = 0.01, max_grad_norm: float | None = None) -> None:
         if lr <= 0:
             raise ValueError("lr must be positive")
+        if max_grad_norm is not None and max_grad_norm <= 0:
+            raise ValueError("max_grad_norm must be positive when set")
         self.lr = lr
+        self.max_grad_norm = max_grad_norm
 
     def step_dense(self, mlp: MLP, grads: DenseGrads) -> None:
+        if self.max_grad_norm is not None:
+            grads, _ = clip_by_global_norm(grads, self.max_grad_norm)
         mlp.apply_grads(grads, self.lr)
 
     def step_sparse(self, table: EmbeddingTable, grad: SparseRowGrad) -> None:
@@ -113,14 +123,33 @@ class RowwiseAdagrad:
 
     # ------------------------------------------------------------- dense path
     def step_dense(self, mlp: MLP, grads: DenseGrads) -> None:
+        """Full Adagrad over one flat accumulator buffer.
+
+        The per-layer accumulators are views over a single flat array
+        mirroring the MLP's parameter layout, so grads produced by the
+        fused :meth:`MLP.backward` update in one whole-buffer pass; grads
+        built from plain lists fall back to the per-layer loop.
+        """
         state = self._dense_state.get(mlp)
         if state is None:
-            state = (
-                [np.zeros_like(w) for w in mlp.weights],
-                [np.zeros_like(b) for b in mlp.biases],
+            acc_flat = np.zeros(mlp.num_params, dtype=mlp.dtype)
+            acc_w, acc_b = _param_views(
+                acc_flat,
+                [w.shape for w in mlp.weights],
+                [b.shape for b in mlp.biases],
             )
+            state = (acc_flat, acc_w, acc_b)
             self._dense_state[mlp] = state
-        acc_w, acc_b = state
+        acc_flat, acc_w, acc_b = state
+        gflat = grads._flat
+        if (
+            gflat is not None
+            and gflat.size == acc_flat.size
+            and gflat.dtype == acc_flat.dtype
+        ):
+            acc_flat += gflat ** 2
+            mlp._params -= self.lr * gflat / np.sqrt(acc_flat + self.eps)
+            return
         for w, gw, aw in zip(mlp.weights, grads.weights, acc_w):
             aw += gw ** 2
             w -= self.lr * gw / np.sqrt(aw + self.eps)

@@ -260,6 +260,54 @@ class TestDtypeDiscipline:
         """
         assert not findings_for(src, SIM_PATH, "dtype-discipline")
 
+    def test_fires_on_mixed_lane_binop(self):
+        src = """
+            import numpy as np
+
+            def mix():
+                a = np.zeros(4, dtype=np.float32)
+                b = np.ones(4, dtype=np.float64)
+                return a + b
+        """
+        found = findings_for(src, HOT_PATH, "dtype-discipline")
+        assert len(found) == 1
+        assert "mixes float lanes" in found[0].message
+
+    def test_fires_on_mixed_lane_astype(self):
+        src = """
+            import numpy as np
+
+            def mix(x, y):
+                a = x.astype(np.float32)
+                b = y.astype("float64")
+                return a * b
+        """
+        found = findings_for(src, HOT_PATH, "dtype-discipline")
+        assert len(found) == 1
+
+    def test_same_lane_and_dynamic_lanes_clean(self):
+        src = """
+            import numpy as np
+
+            def ok(x, lane):
+                a = np.zeros(4, dtype=np.float32)
+                b = np.ones(4, dtype=np.float32)
+                c = np.zeros(4, dtype=lane)  # dynamic: no lane recorded
+                d = a + b
+                return d + c
+        """
+        assert not findings_for(src, HOT_PATH, "dtype-discipline")
+
+    def test_mixed_lane_silent_in_cold_modules(self):
+        src = """
+            import numpy as np
+
+            a = np.zeros(4, dtype=np.float32)
+            b = np.ones(4, dtype=np.float64)
+            c = a + b
+        """
+        assert not findings_for(src, SIM_PATH, "dtype-discipline")
+
 
 # ---------------------------------------------------------------- public-api
 class TestPublicApi:

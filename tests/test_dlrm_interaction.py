@@ -75,3 +75,37 @@ class TestBackward:
         assert grad_dense.shape == (3, 8)
         assert len(grad_embs) == 3
         assert all(g.shape == (3, 8) for g in grad_embs)
+
+
+class TestScratchReuse:
+    """The layer reuses per-batch scratch; results must not depend on it."""
+
+    def test_results_stable_across_batch_size_changes(self):
+        rng = np.random.default_rng(7)
+        warm = DotInteraction(5, 4)
+        for batch in (6, 3, 6, 8, 3):
+            dense = rng.normal(size=(batch, 4))
+            embs = [rng.normal(size=(batch, 4)) for _ in range(4)]
+            grad = rng.normal(size=(batch, warm.output_dim))
+
+            fresh = DotInteraction(5, 4)
+            out_w, st_w = warm.forward(dense, embs)
+            out_f, st_f = fresh.forward(dense, embs)
+            np.testing.assert_array_equal(out_w, out_f)
+
+            gd_w, ge_w = warm.backward(st_w, grad)
+            gd_f, ge_f = fresh.backward(st_f, grad)
+            np.testing.assert_array_equal(gd_w, gd_f)
+            for a, b in zip(ge_w, ge_f):
+                np.testing.assert_array_equal(a, b)
+
+    def test_outputs_do_not_alias_scratch(self):
+        rng = np.random.default_rng(8)
+        inter = DotInteraction(4, 3)
+        dense = rng.normal(size=(2, 3))
+        embs = [rng.normal(size=(2, 3)) for _ in range(3)]
+        out1, st1 = inter.forward(dense, embs)
+        snapshot = out1.copy()
+        # A second step over fresh inputs must not disturb earlier outputs.
+        inter.forward(rng.normal(size=(2, 3)), [rng.normal(size=(2, 3))] * 3)
+        np.testing.assert_array_equal(out1, snapshot)
