@@ -10,15 +10,22 @@ from .collectives import (
 )
 from .consistency import (
     ConsistencyReport,
+    ReplicaConvergenceReport,
     check_prediction_consistency,
+    check_replica_convergence,
     parameter_divergence,
 )
+from .faults import FaultEvent, FaultPlane, FaultSchedule
 from .network import GBE_100, INFINIBAND_EDR, NetworkLink, transfer_seconds
 from .nodes import InferenceNode, PullReport, PushReport, TrainingCluster
 from .parameter_server import ParameterServer, ShardStats
 from .shardstore import (
     ClientTransferReport,
+    QuorumError,
     RebalanceReport,
+    RepairPlan,
+    RepairReport,
+    RepairTask,
     ShardClient,
     ShardPlacement,
     ShardedParameterStore,
@@ -32,15 +39,24 @@ __all__ = [
     "INFINIBAND_EDR",
     "transfer_seconds",
     "ConsistencyReport",
+    "ReplicaConvergenceReport",
     "check_prediction_consistency",
+    "check_replica_convergence",
     "parameter_divergence",
+    "FaultEvent",
+    "FaultPlane",
+    "FaultSchedule",
     "ParameterServer",
     "ShardStats",
     "ShardedParameterStore",
     "ShardClient",
     "ShardPlacement",
     "ClientTransferReport",
+    "QuorumError",
     "RebalanceReport",
+    "RepairPlan",
+    "RepairReport",
+    "RepairTask",
     "CollectiveCostModel",
     "allgather_tree_seconds",
     "allgather_ring_seconds",

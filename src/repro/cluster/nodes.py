@@ -29,9 +29,10 @@ from ..dlrm.model import DLRM
 from ..dlrm.optim import RowwiseAdagrad
 from ..obs.metrics import registry as _obs_registry
 from ..obs.trace import Tracer
+from ..obs.recorder import flight_recorder as _flight_recorder
 from .network import NetworkLink, GBE_100
 from .parameter_server import ParameterServer
-from .shardstore import ShardClient, ShardedParameterStore
+from .shardstore import QuorumError, ShardClient, ShardedParameterStore
 
 __all__ = ["PushReport", "PullReport", "TrainingCluster", "InferenceNode"]
 
@@ -53,6 +54,10 @@ _NODE_ROWS_APPLIED = _REG.counter(
 )
 _NODE_FULL_SYNCS = _REG.counter(
     "cluster.node.full_syncs", help="whole-model adoptions (hourly full sync)"
+)
+_PUBLISH_QUORUM_FAILURES = _REG.counter(
+    "cluster.train.publish_quorum_failures",
+    help="window publishes refused by the store's write quorum",
 )
 
 
@@ -135,13 +140,35 @@ class TrainingCluster:
         The touched set drains straight from each table's epoch-stamp lane
         (:class:`repro.core.kernels.TouchedRows`) — one vectorized scan per
         table, no per-id bookkeeping.
+
+        Raises
+        ------
+        repro.cluster.shardstore.store.QuorumError
+            When the store (replicated) cannot reach its write quorum
+            mid-window.  The window's rows stay staged on the client, so
+            calling this again after the fleet heals retries the same
+            publish — a refused window is loud and retryable, never a
+            silent row loss.
         """
         for f, table in enumerate(self.model.embeddings):
             touched = table.drain_touched()
             if touched.size == 0:
                 continue
             self.client.stage(f"table_{f}", touched, table.weight[touched])
-        report = self.client.flush()
+        try:
+            report = self.client.flush()
+        except QuorumError as err:
+            if _REG.enabled:
+                _PUBLISH_QUORUM_FAILURES.inc()
+                _flight_recorder().record(
+                    "cluster.train",
+                    "publish_refused",
+                    f"window publish refused: {err}",
+                    table=err.table,
+                    got=err.got,
+                    needed=err.needed,
+                )
+            raise
         return PushReport(
             version=report.version,
             rows_pushed=report.rows,

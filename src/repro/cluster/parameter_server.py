@@ -38,6 +38,12 @@ class ParameterServer:
             table's first publish.
         row_dtype: row lane — float64 (train, default) or float32
             (serve; checked downcast at publish, half the bytes).
+        replication: copies per key; above 1 the facade inherits quorum
+            publishes (a mid-window shard loss surfaces as a typed
+            :class:`~repro.cluster.shardstore.store.QuorumError`, never a
+            silent row drop), failover reads, and :meth:`repair`.
+        auto_compact_every: run log compaction after every N-th version
+            bump (see :meth:`ShardedParameterStore.compact`).
     """
 
     def __init__(
@@ -46,12 +52,16 @@ class ParameterServer:
         row_bytes: int | None = 128,
         row_dim: int | None = None,
         row_dtype=np.float64,
+        replication: int = 1,
+        auto_compact_every: int | None = None,
     ) -> None:
         self.store = ShardedParameterStore(
             num_shards=num_shards,
             row_bytes=row_bytes,
             row_dim=row_dim,
             row_dtype=row_dtype,
+            replication=replication,
+            auto_compact_every=auto_compact_every,
         )
         self.num_shards = num_shards
         self.row_bytes = self.store.row_bytes
@@ -112,3 +122,20 @@ class ParameterServer:
     def delta_volume_bytes(self, table: str, since_version: int) -> int:
         """Bytes a delta pull *would* transfer (no read accounting)."""
         return self.store.delta_volume_bytes(table, since_version)
+
+    # ---------------------------------------------------------------- failure
+    def kill_shard(self, shard_id: int) -> None:
+        """Mark one shard unreachable (delegates to the store)."""
+        self.store.kill_shard(shard_id)
+
+    def revive_shard(self, shard_id: int) -> None:
+        """Bring a killed shard back, stale until :meth:`repair`."""
+        self.store.revive_shard(shard_id)
+
+    def repair(self):
+        """Re-replicate whatever the revived shards missed."""
+        return self.store.repair()
+
+    def compact(self, watermark: int | None = None) -> int:
+        """Compact delta logs (watermark-guarded; see the store)."""
+        return self.store.compact(watermark)

@@ -7,18 +7,30 @@ Four pieces:
 * :mod:`shard` — per-shard dense row blocks over
   :class:`repro.core.kernels.IdSlotTable` with append-only delta logs;
 * :mod:`store` — :class:`ShardedParameterStore`: vectorized partitioned
-  publishes, O(changed) delta pulls, live shard add/remove;
+  publishes, O(changed) delta pulls, live shard add/remove, and — with
+  ``replication > 1`` — quorum publishes (:class:`QuorumError` on a
+  refused window), replica-failover reads, missed-version ledgers, and
+  :class:`RepairPlan`-driven self-healing;
 * :mod:`client` — :class:`ShardClient`: staged version-batched publishes,
-  batched multi-table pulls, alpha-beta transfer-cost charging.
+  batched multi-table pulls, alpha-beta transfer-cost charging, and
+  sync-point registration that pins watermark log compaction.
 
 The legacy :class:`repro.cluster.parameter_server.ParameterServer` is a
-thin compatibility facade over this package.
+thin compatibility facade over this package; fault injection against it
+lives in :mod:`repro.cluster.faults`.
 """
 
 from .client import ClientTransferReport, ShardClient
 from .placement import ShardPlacement, stable_table_hash
 from .shard import ParameterShard, ShardStats
-from .store import RebalanceReport, ShardedParameterStore
+from .store import (
+    QuorumError,
+    RebalanceReport,
+    RepairPlan,
+    RepairReport,
+    RepairTask,
+    ShardedParameterStore,
+)
 
 __all__ = [
     "ClientTransferReport",
@@ -27,6 +39,10 @@ __all__ = [
     "stable_table_hash",
     "ParameterShard",
     "ShardStats",
+    "QuorumError",
     "RebalanceReport",
+    "RepairPlan",
+    "RepairReport",
+    "RepairTask",
     "ShardedParameterStore",
 ]

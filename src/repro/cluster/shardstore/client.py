@@ -79,6 +79,22 @@ class ShardClient:
         transfer seconds advance the tracer's clock (a ``SimClock`` in
         simulations, making traces deterministic; a no-op on wall
         clocks).  Counters in the process registry are fed either way.
+    faults : repro.cluster.faults.FaultPlane, optional
+        Fault-injection plane (anything with a ``delay_factor`` float
+        attribute works).  Active ``delay`` faults multiply the modelled
+        transfer seconds of every flush and pull through this client —
+        a degraded network, not a dead one.
+
+    Notes
+    -----
+    A flush that fails its write quorum raises
+    :class:`~repro.cluster.shardstore.store.QuorumError` with the staged
+    batches *preserved*: the client retries the same :meth:`flush` after
+    the fleet heals, and no acknowledged-looking publish is ever lost.
+
+    The first delta pull registers this client's sync point with the
+    store, which pins log compaction at or above it; call :meth:`close`
+    when the client retires to release the pin.
     """
 
     def __init__(
@@ -87,14 +103,17 @@ class ShardClient:
         link: NetworkLink = GBE_100,
         contention: float = 0.0,
         tracer=None,
+        faults=None,
     ) -> None:
         self.store = store
         self.link = link
         self.contention = contention
         self.tracer = tracer
+        self.faults = faults
         self.cost = CollectiveCostModel(link)
         self.synced_version = store.version
         self._staged: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+        self._sync_token: int | None = None
         self.push_log: list[ClientTransferReport] = []
         self.pull_log: list[ClientTransferReport] = []
 
@@ -109,7 +128,10 @@ class ShardClient:
         """
         if nbytes <= 0:
             return 0.0
-        return self.link.transfer_seconds(nbytes, contention=self.contention)
+        seconds = self.link.transfer_seconds(nbytes, contention=self.contention)
+        if self.faults is not None:
+            seconds *= float(self.faults.delay_factor)
+        return seconds
 
     # --------------------------------------------------------------- publish
     @property
@@ -145,6 +167,12 @@ class ShardClient:
         ClientTransferReport
             Rows/bytes moved and the alpha-beta modelled transfer time;
             ``version`` is the bump all staged tables landed under.
+
+        Raises
+        ------
+        repro.cluster.shardstore.store.QuorumError
+            When the store cannot reach its write quorum.  The staged
+            batches are kept: retry the same flush after repair.
         """
         if self.tracer is None:
             return self._flush()
@@ -201,6 +229,15 @@ class ShardClient:
     def mark_synced(self) -> None:
         """Adopt the store's current version without pulling (full sync)."""
         self.synced_version = self.store.version
+        if self._sync_token is not None:
+            self.store.update_sync_point(self._sync_token, self.synced_version)
+
+    def close(self) -> None:
+        """Retire this client: release its sync point so it stops pinning
+        the store's compaction watermark.  Idempotent."""
+        if self._sync_token is not None:
+            self.store.unregister_sync_point(self._sync_token)
+            self._sync_token = None
 
     def pull_tables(
         self,
@@ -252,6 +289,14 @@ class ShardClient:
             deltas[table] = (ids, rows)
             total_rows += int(ids.size)
         self.synced_version = self.store.version
+        # Pullers pin compaction lazily, on first pull: a publish-only
+        # client never registers, so it never holds the watermark back.
+        if self._sync_token is None:
+            self._sync_token = self.store.register_sync_point(
+                self.synced_version
+            )
+        else:
+            self.store.update_sync_point(self._sync_token, self.synced_version)
         nbytes = total_rows * self.store.row_bytes
         report = ClientTransferReport(
             version=self.synced_version,

@@ -105,6 +105,38 @@ class ShardPlacement:
         """
         return self._router.assign(self.key_hashes(table, row_ids))
 
+    def replica_owners(
+        self, table: str, row_ids: np.ndarray, r: int
+    ) -> np.ndarray:
+        """The ``r`` distinct shards owning each row, primary first.
+
+        Replication rides the same ring as placement: a key's replica set
+        is the next ``r`` distinct shards clockwise from its ring
+        position, so column 0 always equals :meth:`shard_of` and adding
+        or removing a shard disturbs only the replica sets whose ring
+        ranges actually changed hands.  Byte-identical in every process
+        (pinned by cross-PYTHONHASHSEED tests, like :meth:`shard_of`).
+
+        Parameters
+        ----------
+        table : str
+            Table name.
+        row_ids : numpy.ndarray of int64
+            Row ids to place.
+        r : int
+            Replica count; must not exceed the shard count.
+
+        Returns
+        -------
+        numpy.ndarray of int64
+            ``(len(row_ids), r)`` owning shard ids, primary in column 0.
+        """
+        if not 1 <= r <= self.num_shards:
+            raise ValueError(
+                f"replication {r} must be in [1, {self.num_shards}]"
+            )
+        return self._router.replica_assign(self.key_hashes(table, row_ids), r)
+
     # ----------------------------------------------------------- membership
     def with_shard_added(self, shard_id: int) -> "ShardPlacement":
         if shard_id in self.shard_ids:

@@ -52,6 +52,10 @@ class _TableBlock:
         self._log_versions = np.empty(64, dtype=np.int64)
         self._log_ids = np.empty(64, dtype=np.int64)
         self._log_len = 0
+        # Versions at or below the floor have been truncated out of the
+        # log (watermark compaction); older sync points fall back to an
+        # exact resident-table scan over ``row_version``.
+        self.log_floor = 0
 
     # -------------------------------------------------------------- geometry
     @property
@@ -183,20 +187,32 @@ class _TableBlock:
         self._log_len = kept
         return ids, out_rows, out_versions
 
-    def compact(self) -> int:
-        """Keep only the latest log entry per id; returns entries dropped.
+    def compact(self, watermark: int | None = None) -> int:
+        """Shrink the delta log; returns entries dropped.
 
-        Lossless for the delta protocol: ``pull_delta(since)`` returns the
-        ids whose *latest* version exceeds ``since``, which only needs each
-        id's newest entry.
+        Always keeps at most the latest entry per id — lossless for the
+        delta protocol, since ``pull_delta(since)`` returns the ids whose
+        *latest* version exceeds ``since``.  When ``watermark`` is given,
+        entries whose id's latest version is at or below it are dropped
+        entirely (the log *truncates*): every registered reader has a sync
+        point at or above the watermark, so nobody needs them from the
+        log.  Readers older than the truncation floor are still served
+        exactly — :meth:`changed_ids` falls back to a resident-table scan
+        over ``row_version``, which never forgets — it just stops being
+        O(changed rows) for them.
         """
         n = self._log_len
         if n == 0:
+            if watermark is not None:
+                self.log_floor = max(self.log_floor, watermark)
             return 0
         ids = self._log_ids[:n]
         # Last occurrence per id == newest entry (log is version-sorted).
         _, last_rev = np.unique(ids[::-1], return_index=True)
         keep = np.sort(n - 1 - last_rev)
+        if watermark is not None:
+            keep = keep[self._log_versions[:n][keep] > watermark]
+            self.log_floor = max(self.log_floor, watermark)
         kept = keep.size
         self._log_versions[:kept] = self._log_versions[:n][keep]
         self._log_ids[:kept] = self._log_ids[:n][keep]
@@ -220,6 +236,13 @@ class _TableBlock:
         numpy.ndarray of int64
             Changed ids, unique and ascending.
         """
+        if since_version < self.log_floor:
+            # The log was truncated past this sync point; answer exactly
+            # from the resident version vector instead (O(resident), the
+            # price of reading below the compaction watermark).
+            ids = self.resident_ids
+            slots = self.slots.lookup(ids)
+            return ids[self.row_version[slots] > since_version]
         start = int(
             np.searchsorted(
                 self._log_versions[: self._log_len], since_version, side="right"
@@ -255,6 +278,25 @@ class _TableBlock:
         # every logged id is resident by construction
         return ids, self.rows[self.slots.lookup_present(ids)]
 
+    def delta_with_versions(
+        self, since_version: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`delta_since`, plus each row's current version.
+
+        The version column is what replicated reads reconcile on: when
+        replicas diverge (a publish landed while one owner was down), the
+        merge keeps each id's highest-versioned copy.
+        """
+        ids = self.changed_ids(since_version)
+        if ids.size == 0:
+            return (
+                ids,
+                np.zeros((0, self.dim), dtype=self.dtype),
+                np.empty(0, dtype=np.int64),
+            )
+        slots = self.slots.lookup_present(ids)
+        return ids, self.rows[slots], self.row_version[slots]
+
     def lookup_rows(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Point gather; returns ``(found_mask, rows)`` with zeros on miss."""
         slots = self.slots.lookup(ids)
@@ -262,6 +304,18 @@ class _TableBlock:
         out = np.zeros((ids.size, self.dim), dtype=self.dtype)
         out[found] = self.rows[slots[found]]
         return found, out
+
+    def lookup_with_versions(
+        self, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Point gather with versions; version 0 marks a missed id."""
+        slots = self.slots.lookup(ids)
+        found = slots >= 0
+        out = np.zeros((ids.size, self.dim), dtype=self.dtype)
+        versions = np.zeros(ids.size, dtype=np.int64)
+        out[found] = self.rows[slots[found]]
+        versions[found] = self.row_version[slots[found]]
+        return found, out, versions
 
     def export_all(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         ids = self.resident_ids
@@ -347,9 +401,17 @@ class ParameterShard:
             )
         return block.drop(ids)
 
-    def compact(self) -> int:
-        """Compact every table's delta log; returns total entries dropped."""
-        return sum(b.compact() for b in self._blocks.values())
+    def compact(self, watermark: int | None = None) -> int:
+        """Compact every table's delta log; returns total entries dropped.
+
+        Without ``watermark`` this is the lossless keep-latest-per-id
+        squeeze.  With one, log entries at or below it are truncated
+        outright — the shard cannot know who still reads that far back,
+        so the *store* computes the watermark from its registered client
+        sync points and refuses to pass anything newer than the oldest
+        of them (see :meth:`ShardedParameterStore.compact`).
+        """
+        return sum(b.compact(watermark) for b in self._blocks.values())
 
     # ----------------------------------------------------------------- reads
     def pull_delta(
@@ -366,6 +428,46 @@ class ParameterShard:
             self.stats.rows_read += int(ids.size)
             self.stats.bytes_read += int(ids.size) * self.row_bytes
         return ids, rows
+
+    def pull_delta_versions(
+        self, table: str, since_version: int, charge: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Delta slice with row versions, for replicated-read reconciliation."""
+        block = self._blocks.get(table)
+        if block is None:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.zeros((0, 1), dtype=self.row_dtype),
+                np.empty(0, dtype=np.int64),
+            )
+        ids, rows, versions = block.delta_with_versions(since_version)
+        if charge and ids.size:
+            self.stats.rows_read += int(ids.size)
+            self.stats.bytes_read += int(ids.size) * self.row_bytes
+        return ids, rows, versions
+
+    def pull_rows_versions(
+        self, table: str, ids: np.ndarray, charge: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """``(found, rows, versions)`` point gather; None if table unknown."""
+        block = self._blocks.get(table)
+        if block is None:
+            return None
+        found, rows, versions = block.lookup_with_versions(ids)
+        hits = int(found.sum())
+        if charge and hits:
+            self.stats.rows_read += hits
+            self.stats.bytes_read += hits * self.row_bytes
+        return found, rows, versions
+
+    def export_table(
+        self, table: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Every resident ``(ids, rows, versions)`` of one table; None if
+        the table is unknown here.  Rows and versions are copies, safe to
+        keep across subsequent drops (rebalancing exports before moving)."""
+        block = self._blocks.get(table)
+        return None if block is None else block.export_all()
 
     def changed_count(self, table: str, since_version: int) -> int:
         block = self._blocks.get(table)

@@ -11,14 +11,36 @@ batching is preserved: one publish event = one global version bump however
 many tables and rows it carries.
 
 Shards can be added or removed live: consistent hashing remaps only the
-splitmix64-owned key ranges of the shards that changed (~1/N of keys), and
-:meth:`add_shard` / :meth:`remove_shard` migrate exactly those rows, log
-entries included, so delta semantics survive rebalancing.
+splitmix64-owned key ranges of the shards that changed owners (~1/N of
+keys), and :meth:`add_shard` / :meth:`remove_shard` migrate exactly those
+rows, log entries included, so delta semantics survive rebalancing.
+
+**Replication and self-healing.**  With ``replication=R`` each key lives on
+the next R distinct shards clockwise from its ring position
+(:meth:`ShardPlacement.replica_owners`), and the failure story changes from
+"one lost shard silently loses rows" to an explicit contract:
+
+* a publish is **acknowledged** only when every row reached its write
+  quorum of ``R // 2 + 1`` live replicas; otherwise it raises a typed
+  :class:`QuorumError` *before* bumping the version or writing anything,
+  so a failed publish can simply be retried after repair;
+* replicas that miss an acknowledged publish (down, or dropped by fault
+  injection) are recorded in a store-side missed-version ledger; reads
+  reconcile per row by version, so :meth:`pull_delta` and
+  :meth:`pull_rows` transparently fail over to the freshest live copy;
+* :meth:`plan_repair` / :meth:`repair` re-replicate exactly the rows a
+  revived or stale replica is behind on, restoring byte-identical copies.
+
+Delta logs no longer grow without bound: clients register their sync
+points with the store, and :meth:`compact` truncates each log up to the
+oldest registered sync point — never past it — while readers below the
+truncation floor are still served exactly from the resident version
+vectors (at O(resident) cost instead of O(changed)).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,7 +50,14 @@ from ...obs.recorder import flight_recorder as _flight_recorder
 from .placement import ShardPlacement
 from .shard import ParameterShard, ShardStats
 
-__all__ = ["RebalanceReport", "ShardedParameterStore"]
+__all__ = [
+    "QuorumError",
+    "RebalanceReport",
+    "RepairTask",
+    "RepairPlan",
+    "RepairReport",
+    "ShardedParameterStore",
+]
 
 _REG = _obs_registry()
 _PUBLISHES = _REG.counter(
@@ -46,6 +75,42 @@ _RESIDENT_ROWS = _REG.gauge(
 _NUM_SHARDS = _REG.gauge(
     "shardstore.store.num_shards", help="live shard count"
 )
+_SHARDS_DOWN = _REG.gauge(
+    "shardstore.store.shards_down", help="shards currently killed/unreachable"
+)
+_REPLICATION_LAG = _REG.gauge(
+    "shardstore.store.replication_lag",
+    help="missed (shard, version) publish applications awaiting repair",
+)
+_QUORUM_FAILURES = _REG.counter(
+    "shardstore.store.quorum_failures",
+    help="publishes refused for missing their write quorum",
+)
+_ROWS_REPAIRED = _REG.counter(
+    "shardstore.store.rows_repaired",
+    help="row copies re-replicated onto stale replicas",
+)
+
+
+class QuorumError(RuntimeError):
+    """A publish could not reach its write quorum and was not applied.
+
+    Raised *before* the version bump and before any shard is written, so
+    the store is untouched: the caller (typically a
+    :class:`~repro.cluster.shardstore.client.ShardClient`, whose staged
+    batches survive a failed flush) retries the same publish after the
+    fleet heals.  Never swallow this into a silent row drop.
+    """
+
+    def __init__(self, table: str, version: int, needed: int, got: int):
+        super().__init__(
+            f"publish v{version} on table {table!r} reached only {got} of "
+            f"{needed} required replicas"
+        )
+        self.table = table
+        self.version = version
+        self.needed = needed
+        self.got = got
 
 
 @dataclass
@@ -60,6 +125,49 @@ class RebalanceReport:
     @property
     def moved_fraction(self) -> float:
         return self.rows_moved / self.rows_total if self.rows_total else 0.0
+
+
+@dataclass
+class RepairTask:
+    """Rows one stale replica must copy from its fresh peers."""
+
+    shard_id: int
+    table: str
+    ids: np.ndarray
+    rows: np.ndarray
+    versions: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.ids.size)
+
+
+@dataclass
+class RepairPlan:
+    """Everything :meth:`ShardedParameterStore.repair` would copy.
+
+    Built by :meth:`~ShardedParameterStore.plan_repair` without mutating
+    the store, so failure experiments can inspect (and account the bytes
+    of) a repair before running it.
+    """
+
+    tasks: list[RepairTask] = field(default_factory=list)
+    stale_shards: list[int] = field(default_factory=list)
+    rows_to_copy: int = 0
+    bytes_to_copy: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.tasks and not self.stale_shards
+
+
+@dataclass
+class RepairReport:
+    """What one :meth:`ShardedParameterStore.repair` actually copied."""
+
+    rows_copied: int
+    bytes_copied: int
+    shards_healed: list[int]
 
 
 class ShardedParameterStore:
@@ -85,6 +193,14 @@ class ShardedParameterStore:
     downcast_rtol : float, optional
         Tolerance of the publish-time float32 downcast; ignored on the
         float64 lane.
+    replication : int, optional
+        Copies per key (the next R distinct ring owners).  1 (default)
+        keeps the single-copy fast paths bit-for-bit; R > 1 turns on
+        quorum publishes, version-reconciled reads and repair.
+    auto_compact_every : int or None, optional
+        When set, run :meth:`compact` automatically after every N-th
+        version bump, so delta logs stay bounded without anyone calling
+        maintenance by hand.
     virtual_nodes : int, optional
         Ring points per shard.
     seed : int, optional
@@ -98,11 +214,19 @@ class ShardedParameterStore:
         row_dim: int | None = None,
         row_dtype=np.float64,
         downcast_rtol: float = 1e-6,
+        replication: int = 1,
+        auto_compact_every: int | None = None,
         virtual_nodes: int = 64,
         seed: int = 0,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("need at least one shard")
+        if not 1 <= replication <= num_shards:
+            raise ValueError(
+                f"replication {replication} must be in [1, {num_shards}]"
+            )
+        if auto_compact_every is not None and auto_compact_every <= 0:
+            raise ValueError("auto_compact_every must be positive")
         self.row_dtype = np.dtype(row_dtype)
         if self.row_dtype.kind != "f":
             raise TypeError(f"row_dtype must be a float lane, got {row_dtype}")
@@ -111,6 +235,8 @@ class ShardedParameterStore:
         self.row_bytes = row_bytes
         self.row_dim = row_dim
         self.downcast_rtol = downcast_rtol
+        self.replication = replication
+        self.auto_compact_every = auto_compact_every
         self.version = 0
         self.placement = ShardPlacement(
             list(range(num_shards)), virtual_nodes=virtual_nodes, seed=seed
@@ -120,6 +246,13 @@ class ShardedParameterStore:
             for sid in range(num_shards)
         }
         self._dims: dict[str, int] = {}
+        self._down: set[int] = set()
+        # Hinted-handoff ledger: store version -> list per shard of
+        # publishes that shard failed to apply (down or fault-dropped).
+        self._missed: dict[int, list[int]] = {}
+        self._armed_drops: dict[int, int] = {}
+        self._sync_points: dict[int, int] = {}
+        self._next_sync_token = 1
 
     # -------------------------------------------------------------- geometry
     @property
@@ -127,8 +260,31 @@ class ShardedParameterStore:
         return len(self.shards)
 
     @property
+    def quorum(self) -> int:
+        """Replicas that must apply a publish for it to be acknowledged."""
+        return self.replication // 2 + 1
+
+    @property
     def shard_ids(self) -> list[int]:
         return sorted(self.shards)
+
+    @property
+    def live_shard_ids(self) -> list[int]:
+        """Shards currently reachable (not killed), ascending."""
+        return [sid for sid in self.shard_ids if sid not in self._down]
+
+    @property
+    def down_shard_ids(self) -> list[int]:
+        return sorted(self._down)
+
+    @property
+    def replication_lag(self) -> int:
+        """Missed ``(shard, version)`` applications awaiting repair."""
+        return sum(len(v) for v in self._missed.values())
+
+    def missed_versions(self, shard_id: int) -> list[int]:
+        """Acknowledged store versions ``shard_id`` has not applied."""
+        return list(self._missed.get(shard_id, ()))
 
     @property
     def shard_stats(self) -> list[ShardStats]:
@@ -145,6 +301,73 @@ class ShardedParameterStore:
     def dim_of(self, table: str) -> int:
         """Row width of ``table`` (constructor/first-publish pin, else 1)."""
         return self._dims.get(table, self.row_dim if self.row_dim else 1)
+
+    # --------------------------------------------------------------- failure
+    def kill_shard(self, shard_id: int) -> None:
+        """Mark one shard unreachable (crash, partition).
+
+        The shard's rows stay where they are — a kill models loss of
+        *availability*; :meth:`revive_shard` brings the same (now stale)
+        data back, and :meth:`repair` reconverges it.  Publishes keep
+        acknowledging as long as every row still reaches its quorum.
+        """
+        if shard_id not in self.shards:
+            raise ValueError(f"unknown shard {shard_id}")
+        if shard_id in self._down:
+            raise ValueError(f"shard {shard_id} is already down")
+        self._down.add(shard_id)
+        if _REG.enabled:
+            _SHARDS_DOWN.set(len(self._down))
+            _flight_recorder().record(
+                "shardstore.store",
+                "shard_killed",
+                f"shard {shard_id} down ({len(self._down)} of "
+                f"{self.num_shards})",
+                shard_id=shard_id,
+            )
+
+    def revive_shard(self, shard_id: int) -> None:
+        """Bring a killed shard back, stale: run :meth:`repair` to heal it."""
+        if shard_id not in self._down:
+            raise ValueError(f"shard {shard_id} is not down")
+        self._down.discard(shard_id)
+        if _REG.enabled:
+            _SHARDS_DOWN.set(len(self._down))
+            _flight_recorder().record(
+                "shardstore.store",
+                "shard_revived",
+                f"shard {shard_id} back, "
+                f"{len(self._missed.get(shard_id, ()))} versions behind",
+                shard_id=shard_id,
+            )
+
+    def arm_publish_drop(self, shard_id: int, publishes: int = 1) -> None:
+        """Make ``shard_id`` silently drop its next N publish applications.
+
+        The fault-injection hook (:class:`repro.cluster.faults.FaultPlane`
+        arms it from ``drop_publish`` events): the shard stays live but
+        fails to apply, exactly like a lost message — quorum accounting
+        and the missed-version ledger treat it the same as a down shard.
+        """
+        if shard_id not in self.shards:
+            raise ValueError(f"unknown shard {shard_id}")
+        if publishes <= 0:
+            raise ValueError("publishes must be positive")
+        self._armed_drops[shard_id] = (
+            self._armed_drops.get(shard_id, 0) + publishes
+        )
+
+    def _consume_armed_drops(self) -> frozenset[int]:
+        if not self._armed_drops:
+            return frozenset()
+        dropping = frozenset(self._armed_drops)
+        for sid in dropping:
+            remaining = self._armed_drops[sid] - 1
+            if remaining:
+                self._armed_drops[sid] = remaining
+            else:
+                del self._armed_drops[sid]
+        return dropping
 
     # ---------------------------------------------------------------- writes
     @staticmethod
@@ -199,24 +422,78 @@ class ShardedParameterStore:
             rows = np.pad(rows, ((0, 0), (0, known - width)))
         return rows
 
-    def _publish_into(
-        self, table: str, indices: np.ndarray, rows: np.ndarray, version: int
+    def _apply_mask(
+        self, owners: np.ndarray, drops: frozenset[int]
+    ) -> np.ndarray | None:
+        """Which ``(row, rank)`` writes will land; None means all of them."""
+        blocked = self._down | set(drops)
+        if not blocked:
+            return None
+        return ~np.isin(
+            owners, np.asarray(sorted(blocked), dtype=np.int64)
+        )
+
+    def _scatter_shards(
+        self,
+        table: str,
+        ids: np.ndarray,
+        rows: np.ndarray,
+        owner_flat: np.ndarray,
+        row_idx: np.ndarray,
+        version: int,
+    ) -> int:
+        """One partition pass over the flattened ``(row, rank)`` writes.
+
+        A row's replica owners are distinct shards, so grouping the
+        flattened matrix by shard still hands every shard unique ids —
+        one ingest per shard instead of one per ``(rank, shard)``, which
+        amortizes the slot-table searchsorted cost over R-times-larger
+        batches.
+        """
+        if owner_flat.size == 0:
+            return 0
+        # Narrow ids sort ~4x faster (radix kicks in for <=16-bit keys).
+        sort_key = owner_flat
+        if int(owner_flat[owner_flat.argmax()]) <= np.iinfo(np.uint16).max:
+            sort_key = owner_flat.astype(np.uint16)
+        order = np.argsort(sort_key, kind="stable")
+        owner_flat, row_idx = owner_flat[order], row_idx[order]
+        bounds = np.flatnonzero(np.r_[True, owner_flat[1:] != owner_flat[:-1]])
+        written = 0
+        for start, stop in zip(bounds, np.r_[bounds[1:], owner_flat.size]):
+            take = row_idx[start:stop]
+            written += self.shards[int(owner_flat[start])].publish(
+                table, ids[take], rows[take], version
+            )
+        return written
+
+    def _apply_publish(
+        self,
+        table: str,
+        ids: np.ndarray,
+        rows: np.ndarray,
+        owners: np.ndarray,
+        mask: np.ndarray | None,
+        version: int,
     ) -> int:
         rows = self._reconcile_width(table, rows)
-        if indices.size == 0:
+        if ids.size == 0:
             return 0
-        ids, ids_rows = self._dedupe_last(indices, rows)
-        owners = self.placement.shard_of(table, ids)
-        # One vectorized partition pass: group-sort ids by owning shard.
-        order = np.argsort(owners, kind="stable")
-        owners, ids, ids_rows = owners[order], ids[order], ids_rows[order]
-        bounds = np.flatnonzero(np.r_[True, owners[1:] != owners[:-1]])
-        written = 0
-        for start, stop in zip(bounds, np.r_[bounds[1:], owners.size]):
-            sid = int(owners[start])
-            written += self.shards[sid].publish(
-                table, ids[start:stop], ids_rows[start:stop], version
-            )
+        owner_flat = owners.ravel()
+        row_idx = np.repeat(
+            np.arange(ids.size, dtype=np.int64), self.replication
+        )
+        if mask is not None:
+            sel = mask.ravel()
+            owner_flat, row_idx = owner_flat[sel], row_idx[sel]
+        written = self._scatter_shards(
+            table, ids, rows, owner_flat, row_idx, version
+        )
+        if mask is not None and not mask.all():
+            for sid in np.unique(owners[~mask]):
+                ledger = self._missed.setdefault(int(sid), [])
+                if not ledger or ledger[-1] != version:
+                    ledger.append(version)
         return written
 
     def publish_batch(
@@ -237,12 +514,14 @@ class ShardedParameterStore:
         -------
         int
             The version this publish landed under.
+
+        Raises
+        ------
+        QuorumError
+            When any row cannot reach its write quorum of live replicas;
+            the store (version included) is left untouched.
         """
-        indices, rows = self._normalize_batch(indices, rows)
-        self.version += 1
-        written = self._publish_into(table, indices, rows, self.version)
-        self._note_publish(written)
-        return self.version
+        return self.publish_many([(table, indices, rows)])
 
     def publish_many(
         self, batches: list[tuple[str, np.ndarray, np.ndarray]]
@@ -251,19 +530,59 @@ class ShardedParameterStore:
 
         This is the client-side batching primitive: a trainer pushing all
         its embedding tables at a window boundary is one publish event, not
-        one per table.  Every batch validates before the bump, so a
-        malformed batch leaves the version (and every table) untouched.
+        one per table.  Every batch validates — and, under replication,
+        proves its write quorum — before the bump, so a malformed or
+        under-quorum batch leaves the version (and every table) untouched.
         """
-        normalized = [
-            (table, *self._normalize_batch(indices, rows))
-            for table, indices, rows in batches
-        ]
-        self.version += 1
+        prepared = []
+        for table, indices, rows in batches:
+            indices, rows = self._normalize_batch(indices, rows)
+            if indices.size:
+                indices, rows = self._dedupe_last(indices, rows)
+                owners = self.placement.replica_owners(
+                    table, indices, self.replication
+                )
+            else:
+                owners = np.empty((0, self.replication), dtype=np.int64)
+            prepared.append((table, indices, rows, owners))
+        drops = self._consume_armed_drops()
+        version = self.version + 1
+        masks: list[np.ndarray | None] = []
+        failed: tuple[str, int] | None = None
+        for table, indices, _, owners in prepared:
+            mask = self._apply_mask(owners, drops) if indices.size else None
+            if mask is not None and failed is None:
+                got = int(mask.sum(axis=1).min())
+                if got < self.quorum:
+                    failed = (table, got)
+            masks.append(mask)
+        if failed is not None:
+            table, got = failed
+            if _REG.enabled:
+                _QUORUM_FAILURES.inc()
+                _flight_recorder().record(
+                    "shardstore.store",
+                    "quorum_failure",
+                    f"publish v{version} on {table!r} refused "
+                    f"({got}/{self.quorum} replicas)",
+                    table=table,
+                    got=got,
+                    needed=self.quorum,
+                )
+            raise QuorumError(table, version, self.quorum, got)
+        self.version = version
         written = 0
-        for table, indices, rows in normalized:
-            written += self._publish_into(table, indices, rows, self.version)
+        for (table, indices, rows, owners), mask in zip(prepared, masks):
+            written += self._apply_publish(
+                table, indices, rows, owners, mask, version
+            )
         self._note_publish(written)
-        return self.version
+        if (
+            self.auto_compact_every
+            and version % self.auto_compact_every == 0
+        ):
+            self.compact()
+        return version
 
     def _note_publish(self, written: int) -> None:
         """Fold one publish event into the process metrics registry."""
@@ -274,12 +593,32 @@ class ShardedParameterStore:
         _VERSION.set(self.version)
         _RESIDENT_ROWS.set(len(self))
         _NUM_SHARDS.set(self.num_shards)
+        _REPLICATION_LAG.set(self.replication_lag)
 
     # ----------------------------------------------------------------- reads
+    @staticmethod
+    def _reconcile_parts(
+        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Merge per-replica ``(ids, rows, versions)`` slices per-row.
+
+        Each id keeps its highest-versioned copy — the read-side half of
+        the quorum protocol: whichever live replica is freshest for a row
+        wins, so a dead primary never hides an acknowledged write that
+        survives on its peers.
+        """
+        ids = np.concatenate([p[0] for p in parts])
+        rows = np.concatenate([p[1] for p in parts], axis=0)
+        versions = np.concatenate([p[2] for p in parts])
+        order = np.lexsort((versions, ids))
+        ids, rows, versions = ids[order], rows[order], versions[order]
+        last = np.r_[ids[1:] != ids[:-1], True]
+        return ids[last], rows[last], versions[last]
+
     def pull_rows(
         self, table: str, indices: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Point lookups across shards.
+        """Point lookups across shards, freshest live replica per row.
 
         Parameters
         ----------
@@ -291,7 +630,7 @@ class ShardedParameterStore:
         Returns
         -------
         found_mask : numpy.ndarray of bool
-            Which ids were resident somewhere.
+            Which ids were resident on some live replica.
         rows : numpy.ndarray
             ``(len(indices), dim)`` payloads; zeros where missed.
         """
@@ -300,22 +639,50 @@ class ShardedParameterStore:
         out = np.zeros((indices.size, self.dim_of(table)), dtype=self.row_dtype)
         if indices.size == 0:
             return mask, out
-        owners = self.placement.shard_of(table, indices)
-        for sid in np.unique(owners):
-            sel = owners == sid
-            result = self.shards[int(sid)].pull_rows(table, indices[sel])
-            if result is None:
-                continue
-            found, rows = result
-            sub = np.flatnonzero(sel)[found]
-            mask[sub] = True
-            out[sub] = rows[found]
+        if self.replication == 1 and not self._down:
+            owners = self.placement.shard_of(table, indices)
+            for sid in np.unique(owners):
+                sel = owners == sid
+                result = self.shards[int(sid)].pull_rows(table, indices[sel])
+                if result is None:
+                    continue
+                found, rows = result
+                sub = np.flatnonzero(sel)[found]
+                mask[sub] = True
+                out[sub] = rows[found]
+            return mask, out
+        owners = self.placement.replica_owners(
+            table, indices, self.replication
+        )
+        best = np.zeros(indices.size, dtype=np.int64)
+        for k in range(self.replication):
+            col = owners[:, k]
+            for sid in np.unique(col):
+                if int(sid) in self._down:
+                    continue
+                sel = np.flatnonzero(col == sid)
+                result = self.shards[int(sid)].pull_rows_versions(
+                    table, indices[sel]
+                )
+                if result is None:
+                    continue
+                found, rows, versions = result
+                fresher = found & (versions > best[sel])
+                sub = sel[fresher]
+                mask[sub] = True
+                out[sub] = rows[fresher]
+                best[sub] = versions[fresher]
         return mask, out
 
     def pull_delta(
         self, table: str, since_version: int
     ) -> tuple[np.ndarray, np.ndarray, int]:
         """All rows of ``table`` newer than ``since_version``; O(changed).
+
+        Under replication the delta is reconciled across every live
+        replica's log (per-row max version), so a killed shard never
+        hides an acknowledged publish that reached its quorum — the read
+        fails over to whichever surviving copy is freshest, row by row.
 
         Parameters
         ----------
@@ -335,9 +702,25 @@ class ShardedParameterStore:
         current_version : int
             The store version — the caller's new sync point.
         """
+        if self.replication == 1 and not self._down:
+            parts = [
+                self.shards[sid].pull_delta(table, since_version)
+                for sid in self.shard_ids
+            ]
+            parts = [p for p in parts if p[0].size]
+            if not parts:
+                return (
+                    np.empty(0, dtype=np.int64),
+                    np.zeros((0, self.dim_of(table)), dtype=self.row_dtype),
+                    self.version,
+                )
+            ids = np.concatenate([p[0] for p in parts])
+            rows = np.concatenate([p[1] for p in parts], axis=0)
+            order = np.argsort(ids)  # shards own disjoint key sets
+            return ids[order], rows[order], self.version
         parts = [
-            self.shards[sid].pull_delta(table, since_version)
-            for sid in self.shard_ids
+            self.shards[sid].pull_delta_versions(table, since_version)
+            for sid in self.live_shard_ids
         ]
         parts = [p for p in parts if p[0].size]
         if not parts:
@@ -346,15 +729,18 @@ class ShardedParameterStore:
                 np.zeros((0, self.dim_of(table)), dtype=self.row_dtype),
                 self.version,
             )
-        ids = np.concatenate([p[0] for p in parts])
-        rows = np.concatenate([p[1] for p in parts], axis=0)
-        order = np.argsort(ids)  # shards own disjoint key sets
-        return ids[order], rows[order], self.version
+        ids, rows, _ = self._reconcile_parts(parts)
+        return ids, rows, self.version
 
     def delta_volume_bytes(self, table: str, since_version: int) -> int:
-        """Bytes a delta pull *would* transfer (no read accounting)."""
+        """Bytes a delta pull *would* transfer (no read accounting).
+
+        Under replication this counts every live replica's log slice —
+        the same volume the reconciled pull actually reads.
+        """
         return self.row_bytes * sum(
-            s.changed_count(table, since_version) for s in self.shards.values()
+            self.shards[sid].changed_count(table, since_version)
+            for sid in self.live_shard_ids
         )
 
     def delta_shard_volumes(
@@ -364,47 +750,217 @@ class ShardedParameterStore:
         return {
             sid: self.shards[sid].changed_count(table, since_version)
             * self.row_bytes
-            for sid in self.shard_ids
+            for sid in self.live_shard_ids
         }
 
+    # ---------------------------------------------------------- sync points
+    def register_sync_point(self, version: int | None = None) -> int:
+        """Register a reader's sync point; returns its token.
+
+        The oldest registered sync point is the compaction watermark:
+        :meth:`compact` never truncates log entries a registered reader
+        still needs.  Readers update via :meth:`update_sync_point` after
+        each pull and release with :meth:`unregister_sync_point` — a
+        reader that stops pulling without unregistering deliberately pins
+        the watermark (that is the guard working, not a leak).
+        """
+        token = self._next_sync_token
+        self._next_sync_token += 1
+        self._sync_points[token] = (
+            self.version if version is None else int(version)
+        )
+        return token
+
+    def update_sync_point(self, token: int, version: int) -> None:
+        if token not in self._sync_points:
+            raise KeyError(f"unknown sync token {token}")
+        self._sync_points[token] = int(version)
+
+    def unregister_sync_point(self, token: int) -> None:
+        self._sync_points.pop(token, None)
+
+    def oldest_sync_point(self) -> int | None:
+        """The furthest-behind registered reader, or None when none."""
+        return min(self._sync_points.values()) if self._sync_points else None
+
     # ----------------------------------------------------------- maintenance
-    def compact(self) -> int:
-        """Compact every shard's delta logs; returns entries dropped."""
-        return sum(s.compact() for s in self.shards.values())
+    def compact(self, watermark: int | None = None) -> int:
+        """Compact every shard's delta logs; returns entries dropped.
+
+        The keep-latest-per-id squeeze always runs.  Truncation below a
+        version requires a watermark: the caller's (e.g. the version
+        manager's oldest retained store version), clamped so it never
+        exceeds the oldest registered client sync point — the store
+        *refuses* to drop log entries a registered reader still needs.
+        With no watermark and no registered readers, compaction stays
+        fully lossless.
+        """
+        floor = self.oldest_sync_point()
+        if watermark is None:
+            watermark = floor
+        elif floor is not None:
+            watermark = min(int(watermark), floor)
+        return sum(s.compact(watermark) for s in self.shards.values())
+
+    def plan_repair(self) -> RepairPlan:
+        """What re-replication is needed, without doing it.
+
+        For every *live* shard with missed versions, reconcile its peers'
+        delta logs since its oldest miss, keep the rows the shard owns
+        (any replica rank), and diff against the shard's own row versions
+        — the tasks list exactly the copies it is behind on.  Shards
+        still down are reported in ``stale_shards`` only once revived.
+        """
+        plan = RepairPlan()
+        for sid in sorted(self._missed):
+            if sid in self._down or not self._missed[sid]:
+                continue
+            plan.stale_shards.append(sid)
+            since = min(self._missed[sid]) - 1
+            shard = self.shards[sid]
+            peers = [p for p in self.live_shard_ids if p != sid]
+            tables = sorted(
+                {t for p in peers for t in self.shards[p].tables}
+            )
+            for table in tables:
+                parts = [
+                    self.shards[p].pull_delta_versions(
+                        table, since, charge=False
+                    )
+                    for p in peers
+                ]
+                parts = [p for p in parts if p[0].size]
+                if not parts:
+                    continue
+                ids, rows, versions = self._reconcile_parts(parts)
+                owned = (
+                    self.placement.replica_owners(
+                        table, ids, self.replication
+                    )
+                    == sid
+                ).any(axis=1)
+                if not owned.any():
+                    continue
+                ids, rows, versions = ids[owned], rows[owned], versions[owned]
+                mine = shard.pull_rows_versions(table, ids, charge=False)
+                have = (
+                    np.zeros(ids.size, dtype=np.int64)
+                    if mine is None
+                    else mine[2]
+                )
+                behind = versions > have
+                if not behind.any():
+                    continue
+                plan.tasks.append(
+                    RepairTask(
+                        shard_id=sid,
+                        table=table,
+                        ids=ids[behind],
+                        rows=rows[behind],
+                        versions=versions[behind],
+                    )
+                )
+        plan.rows_to_copy = sum(t.num_rows for t in plan.tasks)
+        plan.bytes_to_copy = plan.rows_to_copy * self.row_bytes
+        return plan
+
+    def repair(self, plan: RepairPlan | None = None, tracer=None) -> RepairReport:
+        """Re-replicate stale rows onto every live replica; heal the ledger.
+
+        Best-effort under over-quorum loss: rows with no fresh live
+        source cannot be copied (the quorum contract only covers
+        schedules that keep a majority of each row's replicas alive).
+        Copied rows land with their original versions and delta-log
+        entries, so downstream pulls from the healed replica serve them.
+        """
+        if tracer is not None:
+            with tracer.span("shardstore.store.repair") as span:
+                report = self._repair(plan)
+                span.attrs["rows"] = report.rows_copied
+                span.attrs["bytes"] = report.bytes_copied
+                span.attrs["shards"] = len(report.shards_healed)
+            return report
+        return self._repair(plan)
+
+    def _repair(self, plan: RepairPlan | None) -> RepairReport:
+        if plan is None:
+            plan = self.plan_repair()
+        for task in plan.tasks:
+            self.shards[task.shard_id].ingest(
+                task.table, task.ids, task.rows, task.versions
+            )
+        for sid in plan.stale_shards:
+            self._missed.pop(sid, None)
+        report = RepairReport(
+            rows_copied=plan.rows_to_copy,
+            bytes_copied=plan.bytes_to_copy,
+            shards_healed=list(plan.stale_shards),
+        )
+        if _REG.enabled:
+            _ROWS_REPAIRED.add(report.rows_copied)
+            _REPLICATION_LAG.set(self.replication_lag)
+            if report.shards_healed:
+                _flight_recorder().record(
+                    "shardstore.store",
+                    "repair",
+                    f"re-replicated {report.rows_copied} rows onto "
+                    f"{len(report.shards_healed)} stale shards",
+                    rows=report.rows_copied,
+                    bytes=report.bytes_copied,
+                    shards=len(report.shards_healed),
+                )
+        return report
 
     def _migrate_to(self, new_placement: ShardPlacement) -> RebalanceReport:
+        if self._down:
+            raise RuntimeError(
+                "cannot rebalance with shards down: revive (and repair) "
+                f"{sorted(self._down)} first"
+            )
         rows_total = len(self)
-        rows_moved = 0
-        staged: list[tuple[int, str, np.ndarray, np.ndarray, np.ndarray]] = []
-        for sid in self.shard_ids:
-            shard = self.shards[sid]
-            for table in shard.tables:
-                resident = shard.resident_ids(table)
-                if resident.size == 0:
-                    continue
-                owner = new_placement.shard_of(table, resident)
-                moving = resident[owner != sid]
-                if moving.size == 0:
-                    continue
-                ids, rows, versions = shard.drop(table, moving)
-                dest = owner[owner != sid]
-                for new_sid in np.unique(dest):
-                    sel = dest == new_sid
-                    staged.append(
-                        (int(new_sid), table, ids[sel], rows[sel], versions[sel])
-                    )
-                rows_moved += int(ids.size)
+        # Reconciled world state per table — under replication the copies
+        # may be staggered (a revived-but-unrepaired replica), so sources
+        # are per-row freshest, which makes rebalancing double as repair
+        # for every row it moves.
+        tables = sorted({t for s in self.shards.values() for t in s.tables})
+        world: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for table in tables:
+            parts = []
+            for sid in self.shard_ids:
+                exported = self.shards[sid].export_table(table)
+                if exported is not None and exported[0].size:
+                    parts.append(exported)
+            if parts:
+                world[table] = self._reconcile_parts(parts)
         old_ids = set(self.shards)
         self.placement = new_placement
-        for sid in new_placement.shard_ids:
-            if sid not in old_ids:
-                self.shards[sid] = ParameterShard(
-                    sid, self.row_bytes, row_dtype=self.row_dtype
-                )
-        for sid in old_ids - set(new_placement.shard_ids):
+        new_ids = set(new_placement.shard_ids)
+        for sid in sorted(new_ids - old_ids):
+            self.shards[sid] = ParameterShard(
+                sid, self.row_bytes, row_dtype=self.row_dtype
+            )
+        rows_moved = 0
+        for table, (ids, rows, versions) in world.items():
+            owners = new_placement.replica_owners(
+                table, ids, self.replication
+            )
+            for sid in sorted(new_ids):
+                shard = self.shards[sid]
+                desired_mask = (owners == sid).any(axis=1)
+                desired = ids[desired_mask]
+                current = shard.resident_ids(table)
+                to_drop = current[~np.isin(current, desired)]
+                if to_drop.size:
+                    shard.drop(table, to_drop)
+                add_mask = desired_mask & ~np.isin(ids, current)
+                if add_mask.any():
+                    shard.ingest(
+                        table, ids[add_mask], rows[add_mask],
+                        versions[add_mask],
+                    )
+                    rows_moved += int(add_mask.sum())
+        for sid in old_ids - new_ids:
             del self.shards[sid]
-        for sid, table, ids, rows, versions in staged:
-            self.shards[sid].ingest(table, ids, rows, versions)
         report = RebalanceReport(
             shard_ids=self.shard_ids,
             rows_moved=rows_moved,
@@ -425,13 +981,19 @@ class ShardedParameterStore:
         return report
 
     def add_shard(self, shard_id: int | None = None) -> RebalanceReport:
-        """Grow the ring by one shard, migrating only the keys it now owns."""
+        """Grow the ring by one shard, migrating all R copies of the keys
+        it now owns (and only those)."""
         if shard_id is None:
             shard_id = max(self.shards) + 1
         return self._migrate_to(self.placement.with_shard_added(shard_id))
 
     def remove_shard(self, shard_id: int) -> RebalanceReport:
-        """Drain one shard; its keys remap, everyone else's stay put."""
+        """Drain one shard; its replica ranges remap, everyone else's stay."""
         if shard_id not in self.shards:
             raise ValueError(f"unknown shard {shard_id}")
+        if len(self.shards) - 1 < self.replication:
+            raise ValueError(
+                f"removing shard {shard_id} would leave fewer shards than "
+                f"replication={self.replication}"
+            )
         return self._migrate_to(self.placement.with_shard_removed(shard_id))

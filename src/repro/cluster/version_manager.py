@@ -40,7 +40,13 @@ _SERVING = _REG.gauge(
 
 @dataclass
 class VersionRecord:
-    """One promotable model version."""
+    """One promotable model version.
+
+    ``store_version`` ties the model version to the parameter-store
+    version it was trained against: the oldest retained one is the
+    store's compaction watermark (delta-log entries older than every
+    retained model version can never be needed for a rollback resync).
+    """
 
     version: int
     checkpoint: Checkpoint
@@ -48,6 +54,7 @@ class VersionRecord:
     canary_auc: float | None = None
     promoted: bool = False
     rolled_back: bool = False
+    store_version: int | None = None
 
 
 @dataclass
@@ -87,20 +94,46 @@ class ModelVersionManager:
         self.gate_log: list[GateResult] = []
 
     # ---------------------------------------------------------------- stash
-    def register(self, model: DLRM, now: float) -> VersionRecord:
-        """Snapshot a trained model as a candidate version."""
+    def register(
+        self, model: DLRM, now: float, store_version: int | None = None
+    ) -> VersionRecord:
+        """Snapshot a trained model as a candidate version.
+
+        Pass ``store_version`` (the parameter store's version at snapshot
+        time) to let :meth:`compaction_watermark` drive background
+        delta-log compaction: the store may truncate everything older
+        than the oldest retained snapshot.
+        """
         version = self._next_version
         self._next_version += 1
         record = VersionRecord(
             version=version,
             checkpoint=Checkpoint.capture(model, version),
             created_s=now,
+            store_version=store_version,
         )
         self._records[version] = record
         self._evict()
         if _REG.enabled:
             _REGISTERED.inc()
         return record
+
+    def compaction_watermark(self) -> int | None:
+        """Oldest retained snapshot's parameter-store version, or None.
+
+        Feed this to
+        :meth:`repro.cluster.shardstore.store.ShardedParameterStore.compact`:
+        log entries at or below it predate every version the manager could
+        still roll back to, so truncating them is safe from the version
+        manager's point of view (the store additionally clamps to its own
+        registered client sync points).
+        """
+        marks = [
+            r.store_version
+            for r in self._records.values()
+            if r.store_version is not None
+        ]
+        return min(marks) if marks else None
 
     def _evict(self) -> None:
         while len(self._records) > self.max_versions:

@@ -82,6 +82,7 @@ class ConsistentHashRouter:
         self._nodes_sorted = np.unique(np.asarray(self.node_ids, dtype=np.int64))
         self._ring_node_pos = np.searchsorted(self._nodes_sorted, self._ring_nodes)
         self._load = np.zeros(self._nodes_sorted.size, dtype=np.int64)
+        self._replica_tables: dict[int, np.ndarray] = {}
         self.stats = RouterStats()
 
     # ---------------------------------------------------------------- basics
@@ -160,6 +161,67 @@ class ConsistentHashRouter:
     def reset_window(self) -> None:
         """Start a new load-accounting window (e.g. every second)."""
         self._load[:] = 0
+
+    # ------------------------------------------------------------ replication
+    def _replica_table(self, r: int) -> np.ndarray:
+        """``(ring_size, r)`` successor-owner table, built once per ``r``.
+
+        Row ``i`` lists the first ``r`` *distinct* node ids encountered
+        walking the ring clockwise from ring slot ``i`` (the slot's own
+        node first).  Built fully vectorized: for each node, one
+        ``searchsorted`` gives the cyclic distance from every ring slot
+        to that node's next slot; an argsort over those distances orders
+        the nodes by ring proximity.  Distances are distinct per slot
+        (each ring slot belongs to exactly one node), so the order — and
+        therefore replica placement — is deterministic in every process.
+        """
+        cached = self._replica_tables.get(r)
+        if cached is not None:
+            return cached
+        num_nodes = self._nodes_sorted.size
+        if not 1 <= r <= num_nodes:
+            raise ValueError(
+                f"replica count {r} must be in [1, {num_nodes}]"
+            )
+        ring_size = self._ring_nodes.size
+        slots = np.arange(ring_size, dtype=np.int64)
+        dist = np.empty((ring_size, num_nodes), dtype=np.int64)
+        for pos in range(num_nodes):
+            owned = np.flatnonzero(self._ring_node_pos == pos)
+            nxt = np.searchsorted(owned, slots, side="left")
+            wrapped = nxt == owned.size
+            nxt = np.where(wrapped, 0, nxt)
+            dist[:, pos] = owned[nxt] + wrapped * ring_size - slots
+        order = np.argsort(dist, axis=1)[:, :r]
+        table = self._nodes_sorted[order]
+        self._replica_tables[r] = table
+        return table
+
+    def replica_assign(self, routing_keys: np.ndarray, r: int) -> np.ndarray:
+        """First ``r`` distinct owners clockwise from each key's position.
+
+        Pure ring placement (no bounded-load spillover): column 0 equals
+        :meth:`assign` on an uncapacitated router, and columns 1..r-1 are
+        the successor owners a replicated store writes to.  Analysis-only:
+        neither window load nor :attr:`stats` move.
+
+        Parameters
+        ----------
+        routing_keys : numpy.ndarray
+            Keys to place.
+        r : int
+            Distinct owners per key; must not exceed the node count.
+
+        Returns
+        -------
+        numpy.ndarray of int64
+            ``(len(routing_keys), r)`` owner node ids per key.
+        """
+        table = self._replica_table(r)
+        keys = np.asarray(routing_keys).reshape(-1)
+        if keys.size == 0:
+            return np.empty((0, r), dtype=np.int64)
+        return table[self._ring_indices(keys)]
 
     # -------------------------------------------------------------- analysis
     def assign(self, routing_keys: np.ndarray) -> np.ndarray:

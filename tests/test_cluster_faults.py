@@ -1,0 +1,225 @@
+"""Fault-injection plane tests, plus failure coverage for the legacy
+``ParameterServer`` facade and the ``TrainingCluster`` publish path.
+
+Satellite 4 of ISSUE 9: a mid-window shard kill must surface to the
+trainer as a typed ``QuorumError`` with the window's rows retained (loud
+and retryable, never silent row loss), and an inference node's staleness
+must recover within one sync window after revive + repair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.consistency import check_replica_convergence
+from repro.cluster.faults import FaultEvent, FaultPlane, FaultSchedule
+from repro.cluster.nodes import InferenceNode, TrainingCluster
+from repro.cluster.parameter_server import ParameterServer
+from repro.cluster.shardstore import QuorumError
+from repro.data.synthetic import DriftingCTRStream, StreamConfig
+from repro.dlrm.model import DLRM, DLRMConfig
+from repro.obs.clock import SimClock
+
+
+class TestFaultEvent:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "explode", 1)
+
+    def test_shard_required_except_delay(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "kill")
+        FaultEvent(0.0, "delay", factor=2.0)  # fine without a shard
+
+    def test_delay_factor_bounds(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "delay", factor=0.5)
+
+
+class TestFaultSchedule:
+    def test_events_sorted_and_due_is_monotone(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(5.0, "kill", 1),
+                FaultEvent(1.0, "drop_publish", 2),
+                FaultEvent(3.0, "delay", factor=2.0),
+            ]
+        )
+        assert [e.at_s for e in schedule.events] == [1.0, 3.0, 5.0]
+        assert [e.kind for e in schedule.due(3.0)] == ["drop_publish", "delay"]
+        assert schedule.due(3.0) == []  # consumed exactly once
+        assert [e.kind for e in schedule.due(10.0)] == ["kill"]
+        assert schedule.remaining == 0
+
+    def test_random_is_seed_deterministic(self):
+        a = FaultSchedule.random(7, list(range(8)))
+        b = FaultSchedule.random(7, list(range(8)))
+        assert a.events == b.events
+        c = FaultSchedule.random(8, list(range(8)))
+        assert a.events != c.events
+
+    def test_random_respects_concurrency_bound(self):
+        for seed in range(10):
+            schedule = FaultSchedule.random(
+                seed, list(range(8)), kills=6, horizon_s=200.0,
+                max_concurrent_down=2,
+            )
+            down: set[int] = set()
+            for event in schedule.events:
+                if event.kind == "kill":
+                    assert event.shard_id not in down
+                    down.add(event.shard_id)
+                    assert len(down) <= 2
+                elif event.kind == "revive":
+                    assert event.shard_id in down
+                    down.discard(event.shard_id)
+
+    def test_random_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.random(0, [])
+        with pytest.raises(ValueError):
+            FaultSchedule.random(0, [1], max_concurrent_down=0)
+
+
+class TestFaultPlane:
+    def test_dispatch_kill_revive_drop_delay(self):
+        server = ParameterServer(
+            num_shards=4, row_bytes=None, row_dim=2, replication=3
+        )
+        store = server.store
+        schedule = FaultSchedule(
+            [
+                FaultEvent(1.0, "kill", 2),
+                FaultEvent(2.0, "delay", factor=3.0),
+                FaultEvent(3.0, "revive", 2),
+                FaultEvent(4.0, "drop_publish", 0),
+                FaultEvent(5.0, "delay", factor=1.0),
+            ]
+        )
+        plane = FaultPlane(store, schedule)
+        plane.advance_to(1.5)
+        assert store.down_shard_ids == [2]
+        plane.advance_to(2.5)
+        assert plane.delay_factor == 3.0
+        plane.advance_to(3.5)
+        assert store.down_shard_ids == []
+        plane.advance_to(4.5)
+        version = store.publish_batch("t", np.arange(50), np.zeros((50, 2)))
+        assert store.missed_versions(0) == [version]
+        plane.advance_to(5.5)
+        assert plane.delay_factor == 1.0
+        assert len(plane.injected) == 5
+
+    def test_poll_reads_bound_clock(self):
+        store = ParameterServer(num_shards=4, row_dim=2).store
+        clock = SimClock()
+        plane = FaultPlane(
+            store, FaultSchedule([FaultEvent(2.0, "kill", 1)]), clock=clock
+        )
+        assert plane.poll() == []
+        clock.advance(2.5)
+        assert [e.kind for e in plane.poll()] == ["kill"]
+        assert store.down_shard_ids == [1]
+
+    def test_poll_without_clock_raises(self):
+        store = ParameterServer(num_shards=4, row_dim=2).store
+        plane = FaultPlane(store, FaultSchedule([]))
+        with pytest.raises(ValueError):
+            plane.poll()
+
+    def test_delay_factor_slows_client_transfers(self):
+        from repro.cluster.shardstore import ShardClient
+
+        store = ParameterServer(num_shards=4, row_dim=2).store
+        plane = FaultPlane(
+            store, FaultSchedule([FaultEvent(0.0, "delay", factor=4.0)])
+        )
+        client = ShardClient(store, faults=plane)
+        healthy = client.transfer_seconds(10_000)
+        plane.advance_to(0.0)
+        assert client.transfer_seconds(10_000) == pytest.approx(4.0 * healthy)
+
+
+@pytest.fixture
+def replicated_world():
+    table_sizes = (50, 40)
+    model = DLRM(
+        DLRMConfig(
+            num_dense=3,
+            embedding_dim=4,
+            table_sizes=table_sizes,
+            bottom_mlp=(8,),
+            top_mlp=(8,),
+            seed=0,
+        )
+    )
+    stream = DriftingCTRStream(
+        StreamConfig(table_sizes=table_sizes, num_dense=3, seed=1)
+    )
+    server = ParameterServer(
+        num_shards=4, row_bytes=4 * 8, replication=3
+    )
+    trainer = TrainingCluster(model.copy(), server)
+    node = InferenceNode(model.copy(), server)
+    return stream, server, trainer, node
+
+
+class TestFacadeFailureSemantics:
+    def test_facade_exposes_failure_surface(self, replicated_world):
+        _, server, _, _ = replicated_world
+        server.kill_shard(1)
+        assert server.store.down_shard_ids == [1]
+        server.revive_shard(1)
+        report = server.repair()
+        assert report.shards_healed == []
+        assert server.compact() == 0
+
+    def test_midwindow_kill_surfaces_as_quorum_error(self, replicated_world):
+        """Killing a quorum of shards mid-window: the trainer's publish
+        raises (typed), the window's rows stay staged, and a retry after
+        revival publishes every one of them — zero silent loss."""
+        stream, server, trainer, _ = replicated_world
+        trainer.train_on(stream.next_batch(32))
+        server.kill_shard(0)
+        server.kill_shard(1)  # R=3 over 4 shards: some row must lose quorum
+        with pytest.raises(QuorumError):
+            trainer.publish_changed_rows()
+        staged = trainer.client.staged_rows
+        assert staged > 0  # the window survived the refusal
+        assert server.version == 0
+        server.revive_shard(0)
+        server.revive_shard(1)
+        report = trainer.publish_changed_rows()  # retry the same window
+        assert report.rows_pushed == staged
+        assert server.version == 1
+
+    def test_staleness_recovers_within_one_window_after_revive(
+        self, replicated_world
+    ):
+        """An inference node refreshed after revive+repair is exactly
+        version-current and prediction-consistent with the trainer."""
+        stream, server, trainer, node = replicated_world
+        # healthy window (dense frozen: the parameter plane only carries
+        # embedding rows, so embedding sync must imply prediction sync)
+        trainer.train_on(stream.next_batch(32), update_dense=False)
+        trainer.publish_changed_rows()
+        node.pull_updates()
+        assert node.staleness_versions() == 0
+        # a replica dies; training continues; publishes still ack (1 < quorum)
+        server.kill_shard(2)
+        trainer.train_on(stream.next_batch(32), update_dense=False)
+        trainer.publish_changed_rows()
+        # revive + repair, then ONE sync window
+        server.revive_shard(2)
+        server.repair()
+        assert check_replica_convergence(server.store).converged
+        node.pull_updates()
+        assert node.staleness_versions() == 0
+        # node parameters match the trainer's on every published row
+        probe = stream.next_batch(64)
+        np.testing.assert_allclose(
+            node.predict(probe), trainer.model.predict(
+                probe.dense, probe.sparse_ids
+            ),
+        )

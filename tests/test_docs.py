@@ -20,6 +20,7 @@ DOC_FILES = [
     REPO / "docs" / "benchmarks.md",
     REPO / "docs" / "lint.md",
     REPO / "docs" / "observability.md",
+    REPO / "docs" / "replication.md",
 ]
 
 
