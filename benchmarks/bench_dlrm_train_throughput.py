@@ -68,8 +68,8 @@ def _pin_allocator() -> None:
         m_trim_threshold, m_mmap_threshold = -1, -3  # malloc.h constants
         libc.mallopt(m_mmap_threshold, 1 << 30)
         libc.mallopt(m_trim_threshold, 1 << 30)
-    except Exception:
-        pass
+    except (OSError, AttributeError):
+        pass  # not glibc (musl, macOS): nothing to tune
 
 
 # --------------------------------------------------------------- seed reference

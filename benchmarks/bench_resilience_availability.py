@@ -1,0 +1,225 @@
+"""Tail-latency availability of the resilient read path under gray failure.
+
+The question ISSUE 10's client plane has to answer: when ONE replica of
+the parameter plane turns slow (a gray failure — it answers, just 20x
+late), what happens to the p99 of a puller's modelled read latency?
+
+Three scenarios, same store, same workload, measured on the simulated
+clock so results replay bit-for-bit:
+
+1. **baseline** — fault-free resilient pulls; p99 is the healthy wave.
+2. **slow, no hedging** — one shard slowed by ``--slow-factor``; every
+   wave waits for the straggler, so p99 tracks the full slowdown.
+3. **slow, hedged** — same fault, hedging on: once the primary exceeds
+   the health tracker's learned latency quantile, a backup read races it
+   and the wave completes at ``hedge_delay + backup`` instead.
+
+The gate (``--check-p99-ratio``, CI default 3) requires the *hedged*
+slow-replica p99 to stay within that multiple of the fault-free
+baseline — hedging has to actually buy the availability it claims.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_resilience_availability.py
+    PYTHONPATH=src python benchmarks/bench_resilience_availability.py \
+        --slow-factor 40 --check-p99-ratio 3
+
+Results land in ``BENCH_resilience_availability.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.cluster.faults import FaultEvent, FaultPlane, FaultSchedule
+from repro.cluster.resilience import HedgedRead, ResiliencePolicy
+from repro.cluster.shardstore import ShardClient, ShardedParameterStore
+from repro.hardware.latency import percentile
+
+DIM = 16
+
+
+def _fresh_store(num_shards: int, replication: int, num_rows: int, rng):
+    store = ShardedParameterStore(
+        num_shards=num_shards,
+        row_bytes=DIM * 8,
+        row_dim=DIM,
+        replication=replication,
+    )
+    all_ids = np.arange(num_rows)
+    store.publish_batch("emb", all_ids, rng.normal(size=(num_rows, DIM)))
+    return store
+
+
+def _slow_plane(store, victim: int, factor: float) -> FaultPlane:
+    schedule = FaultSchedule(
+        [FaultEvent(at_s=1.0, kind="slow_node", shard_id=victim, factor=factor)]
+    )
+    return FaultPlane(store, schedule)
+
+
+def run_scenario(
+    store,
+    policy: ResiliencePolicy,
+    rng,
+    trials: int,
+    warmup: int,
+    num_rows: int,
+    delta_rows: int,
+    plane: FaultPlane | None = None,
+) -> dict[str, float]:
+    """Publish-then-pull ``trials`` times; returns latency stats in ms.
+
+    The ``warmup`` pulls run before any scheduled fault fires (the plane
+    is only advanced past its events afterwards) so the health tracker's
+    hedge quantile is learned from *healthy* waves — exactly the state a
+    long-lived client is in when a replica starts degrading.
+    """
+    client = ShardClient(store, faults=plane, resilience=policy)
+    lat_ms: list[float] = []
+    hedges = 0
+    rows_pulled = 0
+    total_s = 0.0
+    for trial in range(warmup + trials):
+        if trial == warmup and plane is not None:
+            plane.advance_to(1.0)  # the slow_node fault lands here
+        size = int(rng.integers(delta_rows // 2, delta_rows + 1))
+        hot = rng.choice(num_rows, size=size, replace=False)
+        store.publish_batch("emb", hot, rng.normal(size=(size, DIM)))
+        _, report = client.pull_tables(["emb"])
+        if report.degraded:
+            raise RuntimeError("gray failure must not degrade the pull")
+        if trial >= warmup:
+            lat_ms.append(report.seconds * 1e3)
+            hedges += report.hedges
+            rows_pulled += report.rows
+            total_s += report.seconds
+    client.close()
+    samples = np.asarray(lat_ms, dtype=np.float64)
+    return {
+        "p50_ms": percentile(samples, 50),
+        "p99_ms": percentile(samples, 99),
+        "mean_ms": float(samples.mean()),
+        "hedges": float(hedges),
+        "rows_per_s": rows_pulled / max(total_s, 1e-12),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=65_536)
+    parser.add_argument("--delta-fraction", type=float, default=0.01)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--replication", type=int, default=3)
+    parser.add_argument("--trials", type=int, default=200)
+    parser.add_argument("--warmup", type=int, default=32)
+    parser.add_argument("--slow-factor", type=float, default=20.0)
+    parser.add_argument(
+        "--check-p99-ratio",
+        type=float,
+        default=None,
+        help="fail if the hedged slow-replica p99 exceeds this multiple "
+        "of the fault-free baseline p99 (CI gate: 3)",
+    )
+    args = parser.parse_args(argv)
+    if args.rows < 1000:
+        parser.error("--rows must be at least 1000")
+    if args.slow_factor < 2.0:
+        parser.error("--slow-factor must be at least 2.0 to mean anything")
+    delta_rows = max(8, int(args.rows * args.delta_fraction))
+
+    def scenario(policy, with_fault: bool, seed: int):
+        rng = np.random.default_rng(seed)
+        store = _fresh_store(
+            args.shards, args.replication, args.rows, rng
+        )
+        plane = None
+        if with_fault:
+            victim = int(store.shard_ids[0])
+            plane = _slow_plane(store, victim, args.slow_factor)
+        return run_scenario(
+            store,
+            policy,
+            rng,
+            args.trials,
+            args.warmup,
+            args.rows,
+            delta_rows,
+            plane=plane,
+        )
+
+    # Same seed everywhere: identical publish workload, only the fault
+    # and the hedging policy differ between scenarios.
+    baseline = scenario(ResiliencePolicy(), with_fault=False, seed=23)
+    unhedged = scenario(
+        ResiliencePolicy(hedge=HedgedRead(min_delay_s=1e9)),
+        with_fault=True,
+        seed=23,
+    )
+    hedged = scenario(ResiliencePolicy(), with_fault=True, seed=23)
+
+    hedged_ratio = hedged["p99_ms"] / baseline["p99_ms"]
+    unhedged_ratio = unhedged["p99_ms"] / baseline["p99_ms"]
+
+    print(
+        f"resilient pull availability @ {args.rows:,} rows, "
+        f"{args.shards} shards, R={args.replication}, "
+        f"one replica {args.slow_factor:g}x slow "
+        f"({args.trials} pulls, modelled ms)"
+    )
+    print(
+        f"{'scenario':<22} {'p50':>9} {'p99':>9} {'vs base':>8} {'hedges':>7}"
+    )
+    for label, stats, ratio in (
+        ("fault-free baseline", baseline, 1.0),
+        ("slow, no hedging", unhedged, unhedged_ratio),
+        ("slow, hedged", hedged, hedged_ratio),
+    ):
+        print(
+            f"{label:<22} {stats['p50_ms']:>9.3f} {stats['p99_ms']:>9.3f} "
+            f"{ratio:>7.2f}x {stats['hedges']:>7.0f}"
+        )
+
+    from _emit import emit_bench_result  # sibling module; script dir is on sys.path
+
+    emit_bench_result(
+        "resilience_availability",
+        shape=(
+            f"{args.rows} rows, {args.shards} shards, "
+            f"R={args.replication}, slow x{args.slow_factor:g}, "
+            f"{args.trials} pulls"
+        ),
+        ids_per_sec=hedged["rows_per_s"],
+        p99_ms=hedged["p99_ms"],
+        extra={
+            "baseline_p99_ms": baseline["p99_ms"],
+            "unhedged_p99_ms": unhedged["p99_ms"],
+            "hedged_p99_ms": hedged["p99_ms"],
+            "hedged_ratio_x": hedged_ratio,
+            "unhedged_ratio_x": unhedged_ratio,
+            "hedges_fired": hedged["hedges"],
+            "slow_factor": args.slow_factor,
+        },
+    )
+
+    if args.check_p99_ratio is not None:
+        if hedged_ratio > args.check_p99_ratio:
+            print(
+                f"FAIL: hedged slow-replica p99 {hedged_ratio:.2f}x above "
+                f"{args.check_p99_ratio}x fault-free baseline",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: hedged slow-replica p99 {hedged_ratio:.2f}x <= "
+            f"{args.check_p99_ratio}x fault-free baseline "
+            f"(unhedged would be {unhedged_ratio:.2f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,8 @@ This package turns the invariants this codebase repeatedly re-learned the
 hard way into blocking CI checks: the salted builtin ``hash()`` purges of
 PR 1 (request routing) and PR 2 (shard placement), the per-id Python
 loops PR 5 had to re-vectorize out of hot paths, and the id/key/row dtype
-discipline nothing previously enforced.  Six repo-specific rules run over
-a single shared parse per file; see ``docs/lint.md`` for the catalogue,
+discipline nothing previously enforced.  Eight repo-specific rules run
+over a single shared parse per file; see ``docs/lint.md`` for the catalogue,
 the incident history behind each rule, and the suppression syntax.
 
 Programmatic use::
@@ -22,6 +22,7 @@ Command line (exit code 1 on any error finding)::
 
 from .config import (
     DTYPE_CONSTRUCTORS,
+    FAULT_MODULES,
     HOT_MODULES,
     PLACEMENT_MODULES,
     PUBLIC_API_MODULES,
@@ -37,6 +38,7 @@ from .cli import main
 
 __all__ = [
     "DTYPE_CONSTRUCTORS",
+    "FAULT_MODULES",
     "HOT_MODULES",
     "PLACEMENT_MODULES",
     "PUBLIC_API_MODULES",

@@ -18,6 +18,7 @@ __all__ = [
     "PLACEMENT_MODULES",
     "SIM_MODULES",
     "PUBLIC_API_MODULES",
+    "FAULT_MODULES",
     "DTYPE_CONSTRUCTORS",
     "SANCTIONED_HASHES",
     "LintConfig",
@@ -59,6 +60,18 @@ SIM_MODULES: tuple[str, ...] = ("repro", "repro.*")
 # Public modules that must carry a docstring and a resolvable ``__all__``.
 PUBLIC_API_MODULES: tuple[str, ...] = ("repro", "repro.*")
 
+# Modules where swallowing an exception can hide a lost write or a dead
+# replica: retry loops, fault handling, and everything that models them.
+# Bare ``except:`` and blanket ``except Exception`` handlers there must
+# name the exception and re-raise or record it (tests are exempt — they
+# assert on exceptions in ways that look like swallowing).
+FAULT_MODULES: tuple[str, ...] = (
+    "repro",
+    "repro.*",
+    "benchmarks.*",
+    "examples.*",
+)
+
 # numpy constructors that must pass an explicit ``dtype=`` in hot modules.
 DTYPE_CONSTRUCTORS: frozenset[str] = frozenset(
     {
@@ -89,6 +102,8 @@ class LintConfig:
         placement_modules: patterns where builtin ``hash()`` is banned.
         sim_modules: patterns where wall-clock reads are banned.
         public_api_modules: patterns checked for docstring/``__all__``.
+        fault_modules: patterns where swallowed exceptions are banned
+            (``no-bare-except``).
         severities: per-rule severity overrides (``rule -> severity``).
         disabled: rule names switched off entirely.
         selected: when non-empty, *only* these rules run.
@@ -98,6 +113,7 @@ class LintConfig:
     placement_modules: tuple[str, ...] = PLACEMENT_MODULES
     sim_modules: tuple[str, ...] = SIM_MODULES
     public_api_modules: tuple[str, ...] = PUBLIC_API_MODULES
+    fault_modules: tuple[str, ...] = FAULT_MODULES
     severities: dict[str, str] = field(default_factory=dict)
     disabled: frozenset[str] = frozenset()
     selected: frozenset[str] = frozenset()
@@ -120,6 +136,8 @@ class LintConfig:
             return self.sim_modules
         if name == "public-api":
             return self.public_api_modules
+        if name == "no-bare-except":
+            return self.fault_modules
         return default
 
     def severity_of(self, name: str, default: str) -> str:

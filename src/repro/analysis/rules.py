@@ -1,4 +1,4 @@
-"""The seven repo-specific invariant rules.
+"""The eight repo-specific invariant rules.
 
 Each rule machine-checks an invariant this repo has already paid to learn
 (see ``docs/lint.md`` for the incident history behind every rule):
@@ -21,6 +21,10 @@ Each rule machine-checks an invariant this repo has already paid to learn
   literals (registry lookups stay cacheable) and hot modules feed
   telemetry through the batched APIs only, never per-item ``observe``
   or ``inc`` inside a loop.
+* ``no-bare-except`` — in retry/fault-handling code a swallowed
+  exception can hide a lost write or a dead replica; handlers must
+  catch a named exception class, and a blanket ``except Exception``
+  must re-raise or bind-and-record what it caught.
 
 Rules are syntactic: they see one file's AST, never import the code.
 """
@@ -44,6 +48,7 @@ __all__ = [
     "DtypeDisciplineRule",
     "PublicApiRule",
     "ObsDisciplineRule",
+    "NoBareExceptRule",
 ]
 
 _WALLCLOCK_CALLS = frozenset(
@@ -434,8 +439,96 @@ class ObsDisciplineRule(Rule):
                     )
 
 
+_BROAD_EXCEPTIONS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "builtins.Exception",
+        "builtins.BaseException",
+    }
+)
+
+
+@register
+class NoBareExceptRule(Rule):
+    """Swallowed exceptions banned from retry/fault-handling code."""
+
+    name = "no-bare-except"
+    description = (
+        "bare `except:` and blanket `except Exception` in fault-handling "
+        "code can hide a lost write or a dead replica; catch a named "
+        "exception class, or re-raise / bind-and-record what was caught"
+    )
+    requires_reason = True
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` swallows everything including "
+                    "KeyboardInterrupt; catch a named exception class",
+                )
+                continue
+            broad = _broad_exception_names(ctx, node.type)
+            if not broad:
+                continue
+            if _handler_reraises_or_uses(node):
+                continue
+            caught = ", ".join(broad)
+            yield self.finding(
+                ctx,
+                node,
+                f"blanket `except {caught}` neither re-raises nor binds "
+                "and uses the exception; narrow the class, re-raise, or "
+                "record what was caught (`except ... as err`)",
+            )
+
+
 # --------------------------------------------------------------------- helpers
 _FLOAT_LANES = frozenset({"float32", "float64"})
+
+
+def _broad_exception_names(ctx: FileContext, type_expr: ast.AST) -> list[str]:
+    """Broad exception classes named by an ``except`` clause's type."""
+    exprs = (
+        list(type_expr.elts)
+        if isinstance(type_expr, ast.Tuple)
+        else [type_expr]
+    )
+    broad: list[str] = []
+    for expr in exprs:
+        qual = ctx.qualname(expr)
+        if qual in _BROAD_EXCEPTIONS:
+            broad.append(qual.rsplit(".", 1)[-1])
+    return broad
+
+
+def _handler_reraises_or_uses(handler: ast.ExceptHandler) -> bool:
+    """Whether a broad handler re-raises or reads its bound exception.
+
+    A handler is considered deliberate when its body contains a ``raise``
+    (bare re-raise or ``raise Other(...) from err``), or when it binds the
+    exception (``as err``) and actually loads that name — logging it,
+    recording it on a report, attaching it to a result.
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    if handler.name:
+        for node in ast.walk(handler):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+    return False
 
 
 def _literal_lane(ctx: FileContext, node: ast.AST) -> str | None:

@@ -18,7 +18,20 @@ from .consistency import (
 from .faults import FaultEvent, FaultPlane, FaultSchedule
 from .network import GBE_100, INFINIBAND_EDR, NetworkLink, transfer_seconds
 from .nodes import InferenceNode, PullReport, PushReport, TrainingCluster
-from .parameter_server import ParameterServer, ShardStats
+from .parameter_server import ParameterServer, PublishRefusedError, ShardStats
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    DeadlineBudget,
+    DeadlineExceeded,
+    DegradedReadError,
+    DegradedReadMode,
+    HealthTracker,
+    HedgedRead,
+    ResiliencePolicy,
+    RetryPolicy,
+    StaleRead,
+)
 from .shardstore import (
     ClientTransferReport,
     QuorumError,
@@ -47,7 +60,19 @@ __all__ = [
     "FaultPlane",
     "FaultSchedule",
     "ParameterServer",
+    "PublishRefusedError",
     "ShardStats",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "DeadlineExceeded",
+    "DegradedReadError",
+    "DegradedReadMode",
+    "HealthTracker",
+    "HedgedRead",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "StaleRead",
     "ShardedParameterStore",
     "ShardClient",
     "ShardPlacement",

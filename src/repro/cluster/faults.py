@@ -9,7 +9,7 @@ binds one schedule to one :class:`~repro.cluster.shardstore.store.\
 ShardedParameterStore`, dispatching each event exactly once as simulated
 time passes its timestamp.
 
-Four event kinds cover the failure modes the replication protocol
+Seven event kinds cover the failure modes the replication protocol
 promises to survive (and the ones it promises to *refuse* loudly):
 
 ``kill``
@@ -25,6 +25,17 @@ promises to survive (and the ones it promises to *refuse* loudly):
 ``delay``
     Multiplies modelled client transfer times (degraded network); a
     factor of 1.0 clears it.
+``slow_node``
+    One shard answers, but slowly: its modelled RPC latencies are
+    multiplied by ``factor`` until a later ``slow_node`` with factor
+    1.0 clears it.  The gray-failure mode hedged reads exist for.
+``partition``
+    One shard is unreachable (requests time out rather than fast-fail)
+    for ``duration_s`` simulated seconds, then heals on its own.
+``flap``
+    The shard bounces: expanded at schedule-build time into alternating
+    kill/revive pairs every ``period_s`` over ``duration_s``, always
+    ending revived.  Stresses breaker half-open behaviour.
 """
 
 from __future__ import annotations
@@ -38,7 +49,15 @@ from ..obs.metrics import registry as _obs_registry
 
 __all__ = ["FaultEvent", "FaultSchedule", "FaultPlane"]
 
-_KINDS = ("kill", "revive", "drop_publish", "delay")
+_KINDS = (
+    "kill",
+    "revive",
+    "drop_publish",
+    "delay",
+    "slow_node",
+    "partition",
+    "flap",
+)
 
 _REG = _obs_registry()
 _INJECTED = _REG.counter(
@@ -55,27 +74,59 @@ class FaultEvent:
     at_s : float
         Simulated time the fault fires.
     kind : str
-        One of ``kill``, ``revive``, ``drop_publish``, ``delay``.
+        One of ``kill``, ``revive``, ``drop_publish``, ``delay``,
+        ``slow_node``, ``partition``, ``flap``.
     shard_id : int, optional
         Target shard; required for every kind except ``delay``.
     factor : float, optional
-        ``delay`` only: multiplier on modelled transfer seconds
-        (>= 1.0; exactly 1.0 restores the healthy network).
+        ``delay``/``slow_node`` only: multiplier on modelled transfer
+        seconds (>= 1.0; exactly 1.0 restores healthy speed).
+    duration_s : float, optional
+        ``partition``/``flap`` only: how long the condition lasts
+        (must be positive for those kinds).
+    period_s : float, optional
+        ``flap`` only: length of one kill+revive bounce cycle.
     """
 
     at_s: float
     kind: str
     shard_id: int | None = None
     factor: float = 1.0
+    duration_s: float = 0.0
+    period_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
-        if self.kind == "delay":
-            if self.factor < 1.0:
-                raise ValueError("delay factor must be >= 1.0")
-        elif self.shard_id is None:
+        if self.kind != "delay" and self.shard_id is None:
             raise ValueError(f"{self.kind} fault needs a shard_id")
+        if self.kind in ("delay", "slow_node") and self.factor < 1.0:
+            raise ValueError(f"{self.kind} factor must be >= 1.0")
+        if self.kind in ("partition", "flap") and self.duration_s <= 0.0:
+            raise ValueError(f"{self.kind} fault needs duration_s > 0")
+        if self.kind == "flap" and self.period_s <= 0.0:
+            raise ValueError("flap fault needs period_s > 0")
+
+
+def _expand_flap(event: FaultEvent) -> list[FaultEvent]:
+    """Expand one ``flap`` into its alternating kill/revive bounces.
+
+    Each ``period_s`` cycle is half down, half up; the expansion always
+    ends with a revive, so a flapping shard is healthy once the fault
+    window closes (the half-open breaker probes are what get stressed,
+    not the final state).
+    """
+    out: list[FaultEvent] = []
+    start = float(event.at_s)
+    end = start + float(event.duration_s)
+    t = start
+    while t < end:
+        out.append(FaultEvent(t, "kill", event.shard_id))
+        out.append(
+            FaultEvent(min(t + event.period_s / 2.0, end), "revive", event.shard_id)
+        )
+        t += float(event.period_s)
+    return out
 
 
 @dataclass
@@ -91,7 +142,15 @@ class FaultSchedule:
     _cursor: int = 0
 
     def __post_init__(self) -> None:
-        self.events = sorted(self.events, key=lambda e: e.at_s)
+        expanded: list[FaultEvent] = []
+        for event in self.events:
+            if event.kind == "flap":
+                expanded.extend(_expand_flap(event))
+            else:
+                expanded.append(event)
+        # Stable sort: identical-timestamp events keep insertion order,
+        # which the chaos suites pin as part of replay determinism.
+        self.events = sorted(expanded, key=lambda e: e.at_s)
 
     @property
     def remaining(self) -> int:
@@ -248,7 +307,19 @@ class FaultPlane:
         self.schedule = schedule
         self.clock = clock
         self.delay_factor = 1.0
+        self.now_s = 0.0
         self.injected: list[FaultEvent] = []
+        self.skipped: list[FaultEvent] = []
+        self._slow: dict[int, float] = {}
+        self._partitioned_until: dict[int, float] = {}
+
+    def slow_factor(self, shard_id: int) -> float:
+        """Per-shard latency multiplier from active ``slow_node`` faults."""
+        return self._slow.get(int(shard_id), 1.0)
+
+    def is_partitioned(self, shard_id: int) -> bool:
+        """Whether a ``partition`` fault is still active for this shard."""
+        return self.now_s < self._partitioned_until.get(int(shard_id), 0.0)
 
     def poll(self) -> list[FaultEvent]:
         """Inject everything due at the bound clock's current time."""
@@ -263,6 +334,7 @@ class FaultPlane:
         poll interval still round-trips through the store (the publishes
         in between were in the past either way).
         """
+        self.now_s = max(self.now_s, float(now_s))
         fired = self.schedule.due(now_s)
         for event in fired:
             self._inject(event)
@@ -270,11 +342,31 @@ class FaultPlane:
 
     def _inject(self, event: FaultEvent) -> None:
         if event.kind == "kill":
+            # Tolerant dispatch: overlapping schedules (e.g. a flap over
+            # an already-killed shard) skip rather than raise, and the
+            # skip is recorded so tests can assert on it.
+            if event.shard_id in self.store.down_shard_ids:
+                self.skipped.append(event)
+                return
             self.store.kill_shard(event.shard_id)
         elif event.kind == "revive":
+            if event.shard_id not in self.store.down_shard_ids:
+                self.skipped.append(event)
+                return
             self.store.revive_shard(event.shard_id)
         elif event.kind == "drop_publish":
             self.store.arm_publish_drop(event.shard_id)
+        elif event.kind == "slow_node":
+            if event.factor == 1.0:
+                self._slow.pop(int(event.shard_id), None)
+            else:
+                self._slow[int(event.shard_id)] = float(event.factor)
+        elif event.kind == "partition":
+            until = float(event.at_s) + float(event.duration_s)
+            sid = int(event.shard_id)
+            self._partitioned_until[sid] = max(
+                self._partitioned_until.get(sid, 0.0), until
+            )
         else:
             self.delay_factor = float(event.factor)
         self.injected.append(event)

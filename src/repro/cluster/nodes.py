@@ -79,12 +79,19 @@ class PushReport:
 
 @dataclass
 class PullReport:
-    """Result of one inference-node delta pull."""
+    """Result of one inference-node delta pull.
+
+    ``degraded`` is True when a resilient client could not answer the
+    pull exactly within its deadline: nothing was applied, the node's
+    sync point did not advance, and it keeps serving its current
+    (explicitly stale) replica.
+    """
 
     version: int
     rows_pulled: int
     bytes_pulled: int
     transfer_seconds: float
+    degraded: bool = False
 
 
 class TrainingCluster:
@@ -100,6 +107,12 @@ class TrainingCluster:
             Step timing always goes through a tracer span (a private
             wall-clock one by default) so span durations and step
             metrics cannot drift apart.
+        faults: optional fault plane handed to the client (delay /
+            slow-node / partition modelling on its transfers).
+        resilience: optional
+            :class:`repro.cluster.resilience.ResiliencePolicy`; flushes
+            then retry quorum refusals under deterministic backoff
+            before surfacing them.
     """
 
     def __init__(
@@ -109,12 +122,20 @@ class TrainingCluster:
         link: NetworkLink = GBE_100,
         lr: float = 0.05,
         tracer: Tracer | None = None,
+        faults=None,
+        resilience=None,
     ) -> None:
         self.model = model
         self.server = server
         self.link = link
         self.tracer = tracer if tracer is not None else Tracer()
-        self.client = ShardClient(_store_of(server), link=link, tracer=tracer)
+        self.client = ShardClient(
+            _store_of(server),
+            link=link,
+            tracer=tracer,
+            faults=faults,
+            resilience=resilience,
+        )
         self.optimizer = RowwiseAdagrad(lr=lr)
         self.steps_trained = 0
 
@@ -178,7 +199,14 @@ class TrainingCluster:
 
 
 class InferenceNode:
-    """One serving replica that pulls updates from the parameter plane."""
+    """One serving replica that pulls updates from the parameter plane.
+
+    With a ``resilience`` policy the node's pulls ride the resilient
+    client path: a pull the replica set cannot answer exactly comes back
+    ``degraded`` — the node applies nothing, keeps its sync point, and
+    serves its current replica with staleness on the record instead of
+    crashing or silently skipping updates.
+    """
 
     def __init__(
         self,
@@ -187,12 +215,20 @@ class InferenceNode:
         link: NetworkLink = GBE_100,
         node_id: int = 0,
         tracer: Tracer | None = None,
+        faults=None,
+        resilience=None,
     ) -> None:
         self.model = model
         self.server = server
         self.link = link
         self.node_id = node_id
-        self.client = ShardClient(_store_of(server), link=link, tracer=tracer)
+        self.client = ShardClient(
+            _store_of(server),
+            link=link,
+            tracer=tracer,
+            faults=faults,
+            resilience=resilience,
+        )
         self.pull_log: list[PullReport] = []
 
     @property
@@ -217,7 +253,19 @@ class InferenceNode:
                 filter exists for partial-pull experiments).
         """
         tables = [f"table_{f}" for f in range(len(self.model.embeddings))]
-        deltas, _ = self.client.pull_tables(tables, row_filter=row_filter)
+        deltas, transfer = self.client.pull_tables(tables, row_filter=row_filter)
+        if transfer.degraded:
+            # Nothing exact came back: apply nothing, keep the sync
+            # point, surface the degradation instead of faking progress.
+            report = PullReport(
+                version=self.synced_version,
+                rows_pulled=0,
+                bytes_pulled=0,
+                transfer_seconds=transfer.seconds,
+                degraded=True,
+            )
+            self.pull_log.append(report)
+            return report
         total_rows = 0
         for f, table in enumerate(self.model.embeddings):
             indices, rows = deltas[tables[f]]

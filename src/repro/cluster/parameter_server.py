@@ -15,10 +15,22 @@ from __future__ import annotations
 
 import numpy as np
 
+from .resilience.errors import DegradedReadError
 from .shardstore.shard import ShardStats
-from .shardstore.store import ShardedParameterStore
+from .shardstore.store import QuorumError, ShardedParameterStore
 
-__all__ = ["ShardStats", "ParameterServer"]
+__all__ = ["ShardStats", "ParameterServer", "PublishRefusedError"]
+
+
+class PublishRefusedError(QuorumError):
+    """A facade publish was refused before any write was applied.
+
+    Subclasses :class:`~repro.cluster.shardstore.store.QuorumError` so
+    existing ``except QuorumError`` callers keep working, while new code
+    can catch the facade-level type without importing shardstore
+    internals.  The store is untouched: retry the same batch after the
+    fleet heals — nothing was acked, so nothing can be lost or doubled.
+    """
 
 
 class ParameterServer:
@@ -99,24 +111,90 @@ class ParameterServer:
 
         Version batching: one publish call = one synchronization event, no
         matter how many rows it carries (Section II-B's "version batching").
+
+        Raises
+        ------
+        PublishRefusedError
+            When the write quorum is unreachable.  Nothing was applied
+            and no version was bumped; retry the same batch after repair.
         """
-        return self.store.publish_batch(table, indices, rows)
+        try:
+            return self.store.publish_batch(table, indices, rows)
+        except QuorumError as err:
+            raise PublishRefusedError(
+                err.table, err.version, err.needed, err.got
+            ) from err
 
     # ------------------------------------------------------------------ reads
+    def _read_coverage_ok(self, since_version: int) -> bool:
+        """Whether the live shards can provably answer an exact read.
+
+        True when the available owners of every ring slot intersect
+        every acknowledged write quorum, or the slot's primary is live
+        and has no missed publish past ``since_version`` (a clean
+        primary vouches for its own range).
+        """
+        store = self.store
+        live = store.live_shard_ids
+        suspects = set(store.suspect_shard_ids(since_version))
+        clean = [sid for sid in live if sid not in suspects]
+        return store.placement.coverage_ok(store.replication, live, clean)
+
     def pull_rows(
-        self, table: str, indices: np.ndarray
+        self,
+        table: str,
+        indices: np.ndarray,
+        *,
+        degraded_ok: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Point lookups; returns (found_mask, rows) with zeros for misses."""
+        """Point lookups; returns (found_mask, rows) with zeros for misses.
+
+        When the live replica set cannot provably cover every key — too
+        many owners down for some ring slot — the read is *stale-risky*:
+        with ``degraded_ok=False`` (default) it raises a typed
+        :class:`~repro.cluster.resilience.errors.DegradedReadError`
+        instead of silently serving possibly-old rows; pass
+        ``degraded_ok=True`` to opt into best-effort rows explicitly.
+        """
+        if not self._read_coverage_ok(0):
+            if not degraded_ok:
+                raise DegradedReadError(
+                    [table], self.version, self.version, reason="coverage"
+                )
         return self.store.pull_rows(table, indices)
 
     def pull_delta(
-        self, table: str, since_version: int
+        self,
+        table: str,
+        since_version: int,
+        *,
+        degraded_ok: bool = False,
     ) -> tuple[np.ndarray, np.ndarray, int]:
         """All rows of ``table`` newer than ``since_version``; O(changed).
 
         Returns ``(indices, rows, current_version)``; the caller records the
         returned version as its new sync point.
+
+        When replica exhaustion means the delta cannot be answered
+        exactly, the default is a typed :class:`~repro.cluster.\
+resilience.errors.DegradedReadError` — never a silently short delta.
+        With ``degraded_ok=True`` the call degrades explicitly instead:
+        it returns ``(empty, empty, since_version)``, handing the caller
+        its *own* sync point back so the gap is re-pulled after repair
+        rather than skipped forever.
         """
+        if not self._read_coverage_ok(since_version):
+            if not degraded_ok:
+                raise DegradedReadError(
+                    [table], since_version, self.version, reason="coverage"
+                )
+            return (
+                np.empty(0, dtype=np.int64),
+                np.zeros(
+                    (0, self.store.dim_of(table)), dtype=self.store.row_dtype
+                ),
+                since_version,
+            )
         return self.store.pull_delta(table, since_version)
 
     def delta_volume_bytes(self, table: str, since_version: int) -> int:

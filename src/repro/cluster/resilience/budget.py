@@ -1,0 +1,68 @@
+"""Per-request deadline budgets on the simulated clock.
+
+A :class:`DeadlineBudget` is created once per client operation and
+decremented across hops: every modelled RPC, backoff wait, or hedge delay
+:meth:`spends <DeadlineBudget.spend>` its simulated seconds, and any hop
+can ask what is :meth:`remaining` (to cap an attempt timeout) or
+:meth:`require` headroom (raising :class:`~repro.cluster.resilience.\
+errors.DeadlineExceeded` when the budget is gone).  All arithmetic is on
+modelled time, so the same schedule produces the same deadline decisions
+in every process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import DeadlineExceeded
+
+__all__ = ["DeadlineBudget"]
+
+
+@dataclass
+class DeadlineBudget:
+    """Latency budget for one request, decremented across hops.
+
+    Parameters
+    ----------
+    total_s : float
+        The full budget in (simulated) seconds; must be positive.
+    spent_s : float, optional
+        Seconds already consumed (resuming a partially-spent budget).
+    """
+
+    total_s: float
+    spent_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_s <= 0.0:
+            raise ValueError("deadline budget must be positive")
+        if self.spent_s < 0.0:
+            raise ValueError("spent_s cannot be negative")
+
+    def remaining(self) -> float:
+        """Seconds left before the deadline (never negative)."""
+        return max(0.0, self.total_s - self.spent_s)
+
+    @property
+    def expired(self) -> bool:
+        return self.spent_s >= self.total_s
+
+    def spend(self, seconds: float) -> float:
+        """Consume ``seconds`` of budget; returns what was actually spent.
+
+        Spending is clamped at the deadline: a hop that would overrun
+        spends only the remaining headroom, and the budget reads as
+        :attr:`expired` afterwards — the caller decides whether that
+        means fail, degrade, or return partial results.
+        """
+        if seconds < 0.0:
+            raise ValueError("cannot spend negative seconds")
+        charged = min(seconds, self.remaining())
+        self.spent_s += charged
+        return charged
+
+    def require(self, label: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is exhausted."""
+        if self.expired:
+            raise DeadlineExceeded(label, self.total_s, self.spent_s)

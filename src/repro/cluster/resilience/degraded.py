@@ -1,0 +1,166 @@
+"""Bounded-staleness degraded serving from the client's last-synced rows.
+
+When no replica set can answer a pull inside its deadline, failing the
+request is not the only option: the client has every row it ever synced,
+exact as of its own sync point.  :class:`DegradedReadMode` maintains that
+cache — per table, ids + payloads + the store version each row was last
+written at — and serves it as a :class:`StaleRead` that is *explicit*
+about its staleness: a ``degraded=True`` flag, the sync point the rows
+are exact as of, and per-row version lag.  The staleness bound is the
+contract: a degraded read never serves a row staler than the client's
+last successful sync, and never pretends to be fresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["StaleRead", "DegradedReadMode"]
+
+
+@dataclass
+class StaleRead:
+    """One table's rows served from the degraded cache.
+
+    Attributes
+    ----------
+    table : str
+        Table the rows belong to.
+    ids : numpy.ndarray of int64
+        Cached row ids, ascending.
+    rows : numpy.ndarray
+        Their payloads as of :attr:`as_of_version`.
+    row_versions : numpy.ndarray of int64
+        Store version each row was last written at (all at or below
+        :attr:`as_of_version` — the staleness bound).
+    as_of_version : int
+        The client sync point the cache is exact as of.
+    current_version : int
+        Store version at serve time, when known (else equals
+        ``as_of_version``).
+    degraded : bool
+        Always True; consumers must branch on it explicitly.
+    """
+
+    table: str
+    ids: np.ndarray
+    rows: np.ndarray
+    row_versions: np.ndarray
+    as_of_version: int
+    current_version: int
+    degraded: bool = True
+
+    @property
+    def staleness_versions(self) -> int:
+        """Publish events this read may be behind (the staleness bound)."""
+        return max(0, self.current_version - self.as_of_version)
+
+    @property
+    def row_staleness(self) -> np.ndarray:
+        """Per-row publish lag: ``current_version - row_versions``."""
+        return self.current_version - self.row_versions
+
+
+@dataclass
+class DegradedReadMode:
+    """Client-side last-synced row cache behind degraded serving.
+
+    Updated on every *successful* pull (and only then — a degraded pull
+    must not advance the cache, or the staleness accounting would lie),
+    and served when the replica set cannot answer inside the deadline.
+    """
+
+    _tables: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default_factory=dict
+    )
+    as_of_version: int = 0
+
+    @property
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def rows_cached(self, table: str) -> int:
+        entry = self._tables.get(table)
+        return 0 if entry is None else int(entry[0].size)
+
+    def update(
+        self,
+        table: str,
+        ids: np.ndarray,
+        rows: np.ndarray,
+        versions: np.ndarray,
+        synced_version: int,
+    ) -> None:
+        """Fold one successful pull's delta into the cache.
+
+        Parameters
+        ----------
+        table : str
+            Table the delta belongs to.
+        ids, rows, versions : numpy.ndarray
+            The delta rows and the store version each was written at.
+        synced_version : int
+            The client's new sync point after this pull.
+        """
+        self.as_of_version = max(self.as_of_version, int(synced_version))
+        ids = np.asarray(ids, dtype=np.int64)
+        versions = np.asarray(versions, dtype=np.int64)
+        if ids.size == 0:
+            if table not in self._tables:
+                self._tables[table] = (
+                    ids,
+                    np.asarray(rows)[:0],
+                    versions,
+                )
+            return
+        held = self._tables.get(table)
+        if held is None:
+            order = np.argsort(ids)
+            self._tables[table] = (
+                ids[order], np.asarray(rows)[order], versions[order]
+            )
+            return
+        # Merge keep-freshest-per-id: same reconcile idiom as the store's
+        # replica merge, so repeated application of a delta is idempotent.
+        all_ids = np.concatenate((held[0], ids))
+        all_rows = np.concatenate((held[1], np.asarray(rows)), axis=0)
+        all_versions = np.concatenate((held[2], versions))
+        order = np.lexsort((all_versions, all_ids))
+        all_ids = all_ids[order]
+        last = np.r_[all_ids[1:] != all_ids[:-1], True]
+        self._tables[table] = (
+            all_ids[last], all_rows[order][last], all_versions[order][last]
+        )
+
+    def serve(self, table: str, current_version: int | None = None) -> StaleRead:
+        """Serve one table's cached rows with explicit staleness accounting.
+
+        Parameters
+        ----------
+        table : str
+            Table to serve; an unseen table serves an empty (but still
+            explicitly degraded) result.
+        current_version : int, optional
+            The store version at serve time, for the staleness bound;
+            defaults to the cache's own sync point.
+        """
+        entry = self._tables.get(table)
+        if entry is None:
+            entry = (
+                np.empty(0, dtype=np.int64),
+                np.zeros((0, 1), dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
+        current = (
+            self.as_of_version if current_version is None else int(current_version)
+        )
+        return StaleRead(
+            table=table,
+            ids=entry[0],
+            rows=entry[1],
+            row_versions=entry[2],
+            as_of_version=self.as_of_version,
+            current_version=current,
+        )

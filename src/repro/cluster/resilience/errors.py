@@ -1,0 +1,87 @@
+"""Typed failures of the resilient client plane.
+
+Every failure a consumer can see is a named class with structured
+attributes — never a leaked internal (`KeyError`, raw `RuntimeError`) and
+never a silent empty result.  :class:`DeadlineExceeded` ends a request
+whose latency budget ran out mid-protocol; :class:`DegradedReadError`
+reports a read that could not be served *provably fresh* (not enough
+live replica owners to intersect every write quorum) when degraded
+serving is disabled, carrying enough context to decide whether a stale
+answer is acceptable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ResilienceError", "DeadlineExceeded", "DegradedReadError"]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for resilient-client-plane failures."""
+
+
+class DeadlineExceeded(ResilienceError):
+    """A request's latency budget ran out before the protocol finished.
+
+    Attributes
+    ----------
+    label : str
+        Which hop/stage exhausted the budget.
+    total_s : float
+        The full per-request budget.
+    spent_s : float
+        Seconds already consumed when the budget expired.
+    """
+
+    def __init__(self, label: str, total_s: float, spent_s: float) -> None:
+        super().__init__(
+            f"deadline of {total_s:.6f}s exceeded at {label!r} "
+            f"({spent_s:.6f}s spent)"
+        )
+        self.label = label
+        self.total_s = total_s
+        self.spent_s = spent_s
+
+
+class DegradedReadError(ResilienceError):
+    """A read could not be served provably fresh inside its deadline.
+
+    Raised when too many replica owners are unreachable for the answered
+    set to intersect every write quorum (so an acknowledged publish could
+    be missing), and the caller did not opt into degraded serving.
+
+    Attributes
+    ----------
+    tables : list of str
+        Tables the failed read covered.
+    synced_version : int
+        The caller's sync point — rows served from a degraded cache are
+        never staler than this.
+    current_version : int
+        The store version at failure time; ``current_version -
+        synced_version`` bounds the staleness in publish events.
+    reason : str
+        Machine-readable cause (``"coverage"``, ``"deadline"``, ...).
+    """
+
+    def __init__(
+        self,
+        tables: list[str],
+        synced_version: int,
+        current_version: int,
+        reason: str = "coverage",
+    ) -> None:
+        lag = current_version - synced_version
+        super().__init__(
+            f"read of {tables!r} cannot be served fresh ({reason}); "
+            f"client sync point v{synced_version} is {lag} publish(es) "
+            f"behind v{current_version}"
+        )
+        self.tables = list(tables)
+        self.synced_version = synced_version
+        self.current_version = current_version
+        self.reason = reason
+
+    @property
+    def staleness_versions(self) -> int:
+        """Publish events between the sync point and the store version."""
+        return self.current_version - self.synced_version

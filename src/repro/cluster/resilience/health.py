@@ -1,0 +1,116 @@
+"""Per-replica health tracking: EWMA latency, error rate, quantiles.
+
+One :class:`HealthTracker` per client observes every modelled RPC attempt
+(shard, latency, outcome) and distills three signals the rest of the
+plane consumes:
+
+* **EWMA latency** and **EWMA error rate** per shard — replica selection
+  orders backup candidates by them (:meth:`HealthTracker.replica_order`);
+* a **global success-latency quantile** over a bounded window of recent
+  attempts — the hedging trigger (:class:`~repro.cluster.resilience.\
+hedge.HedgedRead` fires a backup read when the primary exceeds it).
+
+All state is plain floats updated in a fixed order, so two processes
+feeding the same observations read byte-identical signals back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HealthTracker"]
+
+
+class HealthTracker:
+    """EWMA latency + error rate per shard replica, plus a global quantile.
+
+    Parameters
+    ----------
+    alpha : float, optional
+        EWMA smoothing factor in ``(0, 1]``; higher reacts faster.
+    window : int, optional
+        Recent successful attempt latencies kept for quantile queries.
+    """
+
+    def __init__(self, alpha: float = 0.25, window: int = 256) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.alpha = alpha
+        self.window = window
+        self._latency: dict[int, float] = {}
+        self._error: dict[int, float] = {}
+        self._observations: dict[int, int] = {}
+        self._recent: list[float] = []
+
+    def record(
+        self,
+        shard_id: int,
+        latency_s: float,
+        ok: bool,
+        hedged: bool = False,
+    ) -> None:
+        """Fold one RPC attempt into the shard's health signals.
+
+        Failed attempts update the error rate and latency both — a
+        timeout *is* a latency datapoint — but only successes feed the
+        global quantile window (hedging triggers off the healthy
+        distribution, not off the failures it exists to route around).
+        Attempts that crossed the hedge threshold (``hedged=True``) also
+        stay out of the window: they still sharpen the shard's own EWMA,
+        but letting a persistently slow replica's latencies into the
+        trigger window would ratchet the hedge delay up to the very
+        slowness hedging exists to mask, eroding the trigger.
+        """
+        shard_id = int(shard_id)
+        a = self.alpha
+        prev = self._latency.get(shard_id)
+        self._latency[shard_id] = (
+            latency_s if prev is None else (1.0 - a) * prev + a * latency_s
+        )
+        err = self._error.get(shard_id, 0.0)
+        self._error[shard_id] = (1.0 - a) * err + (a if not ok else 0.0)
+        self._observations[shard_id] = self._observations.get(shard_id, 0) + 1
+        if ok and not hedged:
+            self._recent.append(float(latency_s))
+            if len(self._recent) > self.window:
+                del self._recent[: len(self._recent) - self.window]
+
+    def ewma_latency_s(self, shard_id: int) -> float:
+        """Smoothed attempt latency for one shard (0.0 when unobserved)."""
+        return self._latency.get(int(shard_id), 0.0)
+
+    def error_rate(self, shard_id: int) -> float:
+        """Smoothed failure fraction for one shard (0.0 when unobserved)."""
+        return self._error.get(int(shard_id), 0.0)
+
+    def observations(self, shard_id: int) -> int:
+        """Attempts observed against one shard."""
+        return self._observations.get(int(shard_id), 0)
+
+    def latency_quantile(self, q: float) -> float:
+        """Quantile of recent *successful* attempt latencies.
+
+        Returns ``inf`` while the window is empty, which disables
+        hedging until the tracker has seen real traffic — a cold client
+        has no baseline to call a primary "slow" against.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._recent:
+            return float("inf")
+        samples = np.asarray(self._recent, dtype=np.float64)
+        return float(np.quantile(samples, q))
+
+    def replica_order(self, shard_ids: list[int]) -> list[int]:
+        """Candidates ordered healthiest-first, deterministically.
+
+        Sorts by (EWMA error rate, EWMA latency, shard id): the id
+        tie-break pins the order bit-for-bit across processes even when
+        two replicas are statistically identical (e.g. both unobserved).
+        """
+        return sorted(
+            (int(s) for s in shard_ids),
+            key=lambda s: (self.error_rate(s), self.ewma_latency_s(s), s),
+        )

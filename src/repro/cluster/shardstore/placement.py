@@ -137,6 +137,56 @@ class ShardPlacement:
             )
         return self._router.replica_assign(self.key_hashes(table, row_ids), r)
 
+    def coverage_ok(
+        self,
+        r: int,
+        available_ids: list[int],
+        clean_primary_ids: list[int] | tuple[int, ...] = (),
+    ) -> bool:
+        """Whether the available shards can answer an *exact* read.
+
+        With write quorum ``w = r // 2 + 1``, a read provably intersects
+        every acknowledged write quorum when at least ``min_live = r - w
+        + 1`` of each key's ``r`` owners are reachable.  A ring slot that
+        misses that bar is still fine if its *primary* is in
+        ``clean_primary_ids`` — a live shard whose missed-version ledger
+        has no entries past the reader's sync point holds provably
+        current rows for everything it owns.  The check runs over every
+        ring slot at once via the router's successor-owner table, so it
+        is key-independent: True means *any* read at this moment is
+        exact.
+
+        Parameters
+        ----------
+        r : int
+            The store's replication factor.
+        available_ids : list of int
+            Shards currently reachable (live and not partitioned away).
+        clean_primary_ids : sequence of int, optional
+            Reachable shards additionally known to be current for the
+            reader (empty missed-ledger overlap).
+
+        Returns
+        -------
+        bool
+            True when every ring slot is readable exactly.
+        """
+        if not 1 <= r <= self.num_shards:
+            raise ValueError(
+                f"replication {r} must be in [1, {self.num_shards}]"
+            )
+        owner_table = self._router.replica_owner_table(r)
+        avail = np.asarray(sorted(set(int(s) for s in available_ids)), dtype=np.int64)
+        min_live = r - (r // 2 + 1) + 1
+        counts = np.isin(owner_table, avail).sum(axis=1)
+        ok = counts >= min_live
+        if len(clean_primary_ids):
+            clean = np.asarray(
+                sorted(set(int(s) for s in clean_primary_ids)), dtype=np.int64
+            )
+            ok = ok | np.isin(owner_table[:, 0], clean)
+        return bool(ok.all())
+
     # ----------------------------------------------------------- membership
     def with_shard_added(self, shard_id: int) -> "ShardPlacement":
         if shard_id in self.shard_ids:

@@ -732,6 +732,96 @@ class ShardedParameterStore:
         ids, rows, _ = self._reconcile_parts(parts)
         return ids, rows, self.version
 
+    # ------------------------------------------------ resilient-read surface
+    def suspect_shard_ids(self, since_version: int) -> list[int]:
+        """Live shards that may be stale for a reader synced at ``since``.
+
+        A shard is *suspect* when its missed-version ledger holds any
+        acknowledged publish past the reader's sync point: a delta read
+        served from that shard's own log alone could silently omit rows.
+        Live shards whose misses are all at or below ``since_version``
+        are still clean for delta reads — the reader already holds those
+        rows from an earlier (quorum-reconciled) sync.
+        """
+        out: list[int] = []
+        for sid in self.live_shard_ids:
+            missed = self._missed.get(sid)
+            if missed and any(v > since_version for v in missed):
+                out.append(sid)
+        return out
+
+    def pull_delta_primary(
+        self, table: str, since_version: int, shard_id: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One shard's own delta slice, restricted to rows it is primary for.
+
+        The resilient client's cheap path: a clean primary (live, not
+        suspect past ``since_version``) answers for its own key range
+        from its local log — one replica's bytes instead of the R-way
+        reconciled read.  Exactness for a *suspect* or dead primary is
+        the caller's problem (see :meth:`pull_delta_ranges`).
+
+        Returns
+        -------
+        ids, rows, versions : numpy.ndarray
+            The shard's changed rows whose primary owner it is,
+            ascending by id, with the store version of each write.
+        """
+        if shard_id not in self.shards:
+            raise KeyError(f"unknown shard {shard_id}")
+        if shard_id in self._down:
+            raise RuntimeError(f"shard {shard_id} is down")
+        ids, rows, versions = self.shards[shard_id].pull_delta_versions(
+            table, since_version
+        )
+        if ids.size == 0:
+            return ids, rows, versions
+        primary = self.placement.shard_of(table, ids) == shard_id
+        return ids[primary], rows[primary], versions[primary]
+
+    def pull_delta_ranges(
+        self,
+        table: str,
+        since_version: int,
+        primary_ids: list[int],
+        from_shards: list[int],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reconciled delta for the key ranges of selected primaries.
+
+        The resilient client's failover path: when some primaries are
+        down, partitioned, or suspect, the rows *they* own are read from
+        ``from_shards`` (typically every reachable shard) and reconciled
+        per-row to the freshest acknowledged copy — the same max-version
+        merge :meth:`pull_delta` uses, restricted to the uncovered key
+        ranges so healthy primaries' bytes are not re-transferred.
+
+        Returns
+        -------
+        ids, rows, versions : numpy.ndarray
+            Changed rows whose primary owner is in ``primary_ids``,
+            ascending by id, with the store version of each write.
+        """
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.zeros((0, self.dim_of(table)), dtype=self.row_dtype),
+            np.empty(0, dtype=np.int64),
+        )
+        if not primary_ids or not from_shards:
+            return empty
+        parts = []
+        for sid in from_shards:
+            if sid in self._down:
+                continue
+            part = self.shards[sid].pull_delta_versions(table, since_version)
+            if part[0].size:
+                parts.append(part)
+        if not parts:
+            return empty
+        ids, rows, versions = self._reconcile_parts(parts)
+        primaries = np.asarray(sorted(set(int(s) for s in primary_ids)), dtype=np.int64)
+        keep = np.isin(self.placement.shard_of(table, ids), primaries)
+        return ids[keep], rows[keep], versions[keep]
+
     def delta_volume_bytes(self, table: str, since_version: int) -> int:
         """Bytes a delta pull *would* transfer (no read accounting).
 

@@ -15,7 +15,7 @@ from ..hardware.latency import percentile
 from ..obs.metrics import registry as _obs_registry
 from ..obs.recorder import flight_recorder as _flight_recorder
 
-__all__ = ["SLAReport", "SLAMonitor"]
+__all__ = ["OUTCOMES", "SLAReport", "SLAMonitor"]
 
 _REG = _obs_registry()
 _LATENCY_MS = _REG.histogram(
@@ -33,11 +33,39 @@ _WINDOWS = _REG.counter(
 _VIOLATIONS = _REG.counter(
     "serving.sla.violations", help="windows whose p99 broke the SLA target"
 )
+_SLA_HEDGED = _REG.counter(
+    "serving.sla.hedged", help="requests answered with a hedged backup read"
+)
+_SLA_DEGRADED = _REG.counter(
+    "serving.sla.degraded", help="requests served from bounded-staleness state"
+)
+_SLA_TIMED_OUT = _REG.counter(
+    "serving.sla.timed_out", help="requests that exhausted their deadline"
+)
+_SLA_SHED = _REG.counter(
+    "serving.sla.shed", help="requests shed by admission control"
+)
+
+#: Request outcome classes, in their fixed code order.  ``clean`` is a
+#: plain successful answer; everything else records *how* the request
+#: deviated — a hedged answer is still correct but cost a backup read, a
+#: degraded one served stale-but-accounted state, ``timed_out`` and
+#: ``shed`` returned no answer at all.  Tail latency alone cannot
+#: distinguish "fast because healthy" from "fast because we gave up",
+#: so the monitor counts these separately from the percentiles.
+OUTCOMES = ("clean", "hedged", "degraded", "timed_out", "shed")
+
+_OUTCOME_INDEX = {name: i for i, name in enumerate(OUTCOMES)}
 
 
 @dataclass
 class SLAReport:
-    """Latency summary of one monitoring window."""
+    """Latency summary of one monitoring window.
+
+    The ``num_*`` outcome counts partition ``num_requests``: every
+    request in the window is exactly one of clean, hedged, degraded,
+    timed-out, or shed.
+    """
 
     window_id: int
     p50_ms: float
@@ -45,6 +73,18 @@ class SLAReport:
     p99_ms: float
     violated: bool
     num_requests: int
+    num_clean: int = 0
+    num_hedged: int = 0
+    num_degraded: int = 0
+    num_timed_out: int = 0
+    num_shed: int = 0
+
+    @property
+    def clean_fraction(self) -> float:
+        """Share of the window answered cleanly (no hedge, no degrade)."""
+        if not self.num_requests:
+            return 0.0
+        return self.num_clean / self.num_requests
 
 
 class SLAMonitor:
@@ -73,40 +113,81 @@ class SLAMonitor:
         self.p99_target_ms = p99_target_ms
         self.window_requests = window_requests
         self._current = np.empty(0, dtype=np.float64)
+        self._current_codes = np.empty(0, dtype=np.int64)
         self.reports: list[SLAReport] = []
         self._window_id = 0
 
-    def observe(self, latencies_ms: np.ndarray) -> list[SLAReport]:
+    def observe(
+        self,
+        latencies_ms: np.ndarray,
+        outcomes: list[str] | np.ndarray | None = None,
+    ) -> list[SLAReport]:
         """Feed request latencies; returns any windows completed by them.
 
         The pending tail and the incoming burst are sliced into
         ``window_requests``-sized windows in one pass — each completed
         window still produces its own :class:`SLAReport`, exactly as the
         per-value loop did.
+
+        Parameters
+        ----------
+        latencies_ms : numpy.ndarray
+            End-to-end request latencies.
+        outcomes : sequence of str, optional
+            One :data:`OUTCOMES` class per latency (``"clean"``,
+            ``"hedged"``, ``"degraded"``, ``"timed_out"``, ``"shed"``).
+            Omitted means all clean — the pre-resilience behaviour, and
+            bit-identical reports to it.
         """
         values = np.asarray(latencies_ms, dtype=np.float64).ravel()
         if values.size == 0:
             return []
+        if outcomes is None:
+            codes = np.zeros(values.size, dtype=np.int64)
+        else:
+            codes = np.asarray(
+                [_OUTCOME_INDEX[o] for o in outcomes], dtype=np.int64
+            )
+            if codes.size != values.size:
+                raise ValueError(
+                    f"{codes.size} outcomes for {values.size} latencies"
+                )
+        totals = np.bincount(codes, minlength=len(OUTCOMES))
         if _REG.enabled:
             _LATENCY_MS.observe_many(values)
             _REQUESTS.add(values.size)
+            _SLA_HEDGED.add(int(totals[1]))
+            _SLA_DEGRADED.add(int(totals[2]))
+            _SLA_TIMED_OUT.add(int(totals[3]))
+            _SLA_SHED.add(int(totals[4]))
         buf = (
             np.concatenate((self._current, values))
             if self._current.size
             else values
         )
+        code_buf = (
+            np.concatenate((self._current_codes, codes))
+            if self._current_codes.size
+            else codes
+        )
         w = self.window_requests
         n_complete = buf.size // w
         completed = [
-            self._close_window(buf[i * w : (i + 1) * w])
+            self._close_window(
+                buf[i * w : (i + 1) * w], code_buf[i * w : (i + 1) * w]
+            )
             for i in range(n_complete)
         ]
         self._current = buf[n_complete * w :].copy()
+        self._current_codes = code_buf[n_complete * w :].copy()
         return completed
 
-    def _close_window(self, samples: np.ndarray) -> SLAReport:
+    def _close_window(
+        self, samples: np.ndarray, codes: np.ndarray
+    ) -> SLAReport:
         self._window_id += 1
         p99 = percentile(samples, 99)
+        counts = np.bincount(codes, minlength=len(OUTCOMES))
         report = SLAReport(
             window_id=self._window_id,
             p50_ms=percentile(samples, 50),
@@ -114,6 +195,11 @@ class SLAMonitor:
             p99_ms=p99,
             violated=bool(p99 > self.p99_target_ms),
             num_requests=samples.size,
+            num_clean=int(counts[0]),
+            num_hedged=int(counts[1]),
+            num_degraded=int(counts[2]),
+            num_timed_out=int(counts[3]),
+            num_shed=int(counts[4]),
         )
         self.reports.append(report)
         if _REG.enabled:

@@ -223,6 +223,18 @@ class ConsistentHashRouter:
             return np.empty((0, r), dtype=np.int64)
         return table[self._ring_indices(keys)]
 
+    def replica_owner_table(self, r: int) -> np.ndarray:
+        """The full ``(ring_size, r)`` successor-owner table for ``r``.
+
+        One row per ring slot, listing the ``r`` distinct owners walking
+        clockwise from it (slot's own node first).  Every possible
+        replica set appears as some row, so coverage questions ("does a
+        set of live nodes intersect every write quorum?") reduce to a
+        vectorized membership test over this table instead of a
+        per-key walk.  Read-only: callers must not mutate the result.
+        """
+        return self._replica_table(r)
+
     # -------------------------------------------------------------- analysis
     def assign(self, routing_keys: np.ndarray) -> np.ndarray:
         """The assignment :meth:`route` would produce from the current

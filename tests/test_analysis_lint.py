@@ -47,7 +47,7 @@ def active(findings):
 
 
 # ----------------------------------------------------------- rule registry
-def test_all_seven_rules_registered():
+def test_all_eight_rules_registered():
     assert rule_names() == [
         "no-salted-hash",
         "no-unseeded-rng",
@@ -56,6 +56,7 @@ def test_all_seven_rules_registered():
         "dtype-discipline",
         "public-api",
         "obs-discipline",
+        "no-bare-except",
     ]
 
 
@@ -447,6 +448,132 @@ class TestObsDiscipline:
                     hist.observe_many(chunk)
         """
         assert not findings_for(src, HOT_PATH, "obs-discipline")
+
+
+# ------------------------------------------------------------ no-bare-except
+class TestNoBareExcept:
+    def test_fires_on_bare_except(self):
+        src = """
+            def pull(client):
+                try:
+                    return client.pull()
+                except:
+                    return None
+        """
+        found = findings_for(src, SIM_PATH, "no-bare-except")
+        assert len(found) == 1
+        assert "bare `except:`" in found[0].message
+
+    def test_fires_on_swallowed_broad_except(self):
+        src = """
+            def pull(client):
+                try:
+                    return client.pull()
+                except Exception:
+                    return None
+        """
+        found = findings_for(src, SIM_PATH, "no-bare-except")
+        assert len(found) == 1
+        assert "except Exception" in found[0].message
+
+    def test_fires_on_broad_except_inside_tuple(self):
+        src = """
+            def pull(client):
+                try:
+                    return client.pull()
+                except (ValueError, BaseException):
+                    return None
+        """
+        found = findings_for(src, SIM_PATH, "no-bare-except")
+        assert len(found) == 1
+        assert "BaseException" in found[0].message
+
+    def test_fires_on_bound_but_unused_exception(self):
+        src = """
+            def pull(client):
+                try:
+                    return client.pull()
+                except Exception as err:
+                    return None
+        """
+        assert findings_for(src, SIM_PATH, "no-bare-except")
+
+    def test_reraise_is_clean(self):
+        src = """
+            def pull(client, counter):
+                try:
+                    return client.pull()
+                except Exception:
+                    counter.inc()
+                    raise
+        """
+        assert not findings_for(src, SIM_PATH, "no-bare-except")
+
+    def test_raise_from_is_clean(self):
+        src = """
+            def pull(client):
+                try:
+                    return client.pull()
+                except Exception as err:
+                    raise RuntimeError("pull failed") from err
+        """
+        assert not findings_for(src, SIM_PATH, "no-bare-except")
+
+    def test_bound_and_recorded_is_clean(self):
+        src = """
+            def pull(client, log):
+                try:
+                    return client.pull()
+                except Exception as err:
+                    log.append(err)
+                    return None
+        """
+        assert not findings_for(src, SIM_PATH, "no-bare-except")
+
+    def test_named_exception_class_is_clean(self):
+        src = """
+            def pull(client):
+                try:
+                    return client.pull()
+                except (TimeoutError, ConnectionError):
+                    return None
+        """
+        assert not findings_for(src, SIM_PATH, "no-bare-except")
+
+    def test_tests_are_exempt(self):
+        src = """
+            def test_raises(client):
+                try:
+                    client.pull()
+                except Exception:
+                    pass
+        """
+        assert not findings_for(
+            src, "tests/test_thing.py", "no-bare-except"
+        )
+
+    def test_suppression_requires_reason(self):
+        bare = """
+            def pull(client):
+                try:
+                    return client.pull()
+                except Exception:  # repro-lint: disable=no-bare-except
+                    return None
+        """
+        found = findings_for(bare, SIM_PATH, "no-bare-except")
+        assert active(found), "reasonless disable must not silence it"
+        assert "needs a reason" in found[0].message
+
+        reasoned = """
+            def pull(client):
+                try:
+                    return client.pull()
+                except Exception:  # repro-lint: disable=no-bare-except -- best-effort probe
+                    return None
+        """
+        found = findings_for(reasoned, SIM_PATH, "no-bare-except")
+        assert len(found) == 1 and found[0].suppressed
+        assert "best-effort probe" in found[0].suppress_reason
 
 
 # -------------------------------------------------------------- suppressions

@@ -223,3 +223,204 @@ class TestFacadeFailureSemantics:
                 probe.dense, probe.sparse_ids
             ),
         )
+
+
+class TestGrayFailureEvents:
+    def test_slow_node_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "slow_node", 1, factor=0.5)
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "slow_node", factor=2.0)  # needs a shard
+        FaultEvent(0.0, "slow_node", 1, factor=1.0)  # 1.0 clears: valid
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "partition", 1)  # zero duration
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "partition", 1, duration_s=-1.0)
+
+    def test_flap_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "flap", 1, duration_s=2.0)  # zero period
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "flap", 1, period_s=1.0)  # zero duration
+
+
+class TestGrayFailureDispatch:
+    def test_slow_node_sets_and_clears_per_shard_factor(self):
+        store = ParameterServer(num_shards=4, row_dim=2).store
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [
+                    FaultEvent(1.0, "slow_node", 2, factor=8.0),
+                    FaultEvent(3.0, "slow_node", 2, factor=1.0),
+                ]
+            ),
+        )
+        assert plane.slow_factor(2) == 1.0
+        plane.advance_to(1.0)
+        assert plane.slow_factor(2) == 8.0
+        assert plane.slow_factor(1) == 1.0  # gray failure is per shard
+        assert store.down_shard_ids == []  # slow, not dead
+        plane.advance_to(3.0)
+        assert plane.slow_factor(2) == 1.0
+
+    def test_partition_heals_after_duration(self):
+        store = ParameterServer(num_shards=4, row_dim=2).store
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [
+                    FaultEvent(1.0, "partition", 0, duration_s=2.0),
+                    # overlapping shorter partition must not shorten it
+                    FaultEvent(2.0, "partition", 0, duration_s=0.5),
+                ]
+            ),
+        )
+        assert not plane.is_partitioned(0)
+        plane.advance_to(1.0)
+        assert plane.is_partitioned(0)
+        assert not plane.is_partitioned(1)
+        plane.advance_to(2.9)
+        assert plane.is_partitioned(0)  # max(3.0, 2.5) still ahead
+        plane.advance_to(3.0)
+        assert not plane.is_partitioned(0)
+        assert store.down_shard_ids == []  # never killed, only unreachable
+
+    def test_flap_expands_to_bounces_ending_revived(self):
+        schedule = FaultSchedule(
+            [FaultEvent(0.0, "flap", 3, duration_s=2.0, period_s=1.0)]
+        )
+        assert [e.kind for e in schedule.events] == [
+            "kill", "revive", "kill", "revive",
+        ]
+        assert [e.at_s for e in schedule.events] == [0.0, 0.5, 1.0, 1.5]
+        assert all(e.shard_id == 3 for e in schedule.events)
+
+    def test_flap_tail_clamped_to_duration(self):
+        schedule = FaultSchedule(
+            [FaultEvent(0.0, "flap", 1, duration_s=1.3, period_s=1.0)]
+        )
+        assert schedule.events[-1].kind == "revive"
+        assert schedule.events[-1].at_s == 1.3  # clamped, still revived
+
+    def test_flap_dispatch_leaves_store_healthy(self):
+        store = ParameterServer(num_shards=4, row_dim=2).store
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [FaultEvent(0.0, "flap", 1, duration_s=2.0, period_s=1.0)]
+            ),
+        )
+        plane.advance_to(0.4)
+        assert store.down_shard_ids == [1]  # mid-bounce: down
+        plane.advance_to(10.0)
+        assert store.down_shard_ids == []
+        assert plane.skipped == []
+        assert len(plane.injected) == 4
+
+
+class TestScheduleEdgeCases:
+    """Satellite 3 of ISSUE 10: overlap, zero-duration, and tie-break
+    semantics of hand-built schedules, pinned for replay determinism."""
+
+    def test_overlapping_kill_revive_of_same_shard_is_tolerant(self):
+        store = ParameterServer(num_shards=4, row_dim=2).store
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [
+                    FaultEvent(1.0, "kill", 2),
+                    FaultEvent(2.0, "kill", 2),    # already down
+                    FaultEvent(3.0, "revive", 2),
+                    FaultEvent(4.0, "revive", 2),  # already up
+                ]
+            ),
+        )
+        plane.advance_to(5.0)
+        assert store.down_shard_ids == []
+        assert [(e.at_s, e.kind) for e in plane.skipped] == [
+            (2.0, "kill"), (4.0, "revive"),
+        ]
+        assert len(plane.injected) == 2  # skips are recorded, not injected
+
+    def test_flap_over_externally_killed_shard_skips_its_kill(self):
+        store = ParameterServer(num_shards=4, row_dim=2).store
+        store.kill_shard(1)
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [FaultEvent(0.0, "flap", 1, duration_s=1.0, period_s=1.0)]
+            ),
+        )
+        plane.advance_to(2.0)
+        assert [e.kind for e in plane.skipped] == ["kill"]
+        assert store.down_shard_ids == []  # flap still ends it revived
+
+    def test_zero_duration_delay_pair_resolves_by_insertion_order(self):
+        store = ParameterServer(num_shards=4, row_dim=2).store
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [
+                    FaultEvent(2.0, "delay", factor=3.0),
+                    FaultEvent(2.0, "delay", factor=1.0),
+                ]
+            ),
+        )
+        plane.advance_to(2.0)
+        assert plane.delay_factor == 1.0  # later insertion wins the tie
+        assert len(plane.injected) == 2  # both fired, neither was dropped
+
+        reversed_plane = FaultPlane(
+            ParameterServer(num_shards=4, row_dim=2).store,
+            FaultSchedule(
+                [
+                    FaultEvent(2.0, "delay", factor=1.0),
+                    FaultEvent(2.0, "delay", factor=3.0),
+                ]
+            ),
+        )
+        reversed_plane.advance_to(2.0)
+        assert reversed_plane.delay_factor == 3.0
+
+    def test_identical_timestamps_keep_insertion_order(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(5.0, "kill", 1),
+                FaultEvent(5.0, "revive", 1),
+                FaultEvent(1.0, "drop_publish", 0),
+            ]
+        )
+        # stable sort: t=1 moves first, the t=5 tie keeps insertion order
+        assert [(e.at_s, e.kind) for e in schedule.events] == [
+            (1.0, "drop_publish"), (5.0, "kill"), (5.0, "revive"),
+        ]
+
+    def test_identical_timestamp_dispatch_is_deterministic(self):
+        # kill-then-revive at the same instant: a zero-duration outage,
+        # shard ends up healthy and nothing is skipped
+        store = ParameterServer(num_shards=4, row_dim=2).store
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [FaultEvent(5.0, "kill", 1), FaultEvent(5.0, "revive", 1)]
+            ),
+        )
+        plane.advance_to(5.0)
+        assert store.down_shard_ids == []
+        assert plane.skipped == []
+        # revive-then-kill at the same instant: the revive is a no-op
+        # skip (shard was up) and the kill lands — order is insertion
+        # order, bit-for-bit, never a hash or dict accident
+        store2 = ParameterServer(num_shards=4, row_dim=2).store
+        plane2 = FaultPlane(
+            store2,
+            FaultSchedule(
+                [FaultEvent(5.0, "revive", 1), FaultEvent(5.0, "kill", 1)]
+            ),
+        )
+        plane2.advance_to(5.0)
+        assert store2.down_shard_ids == [1]
+        assert [e.kind for e in plane2.skipped] == ["revive"]

@@ -1,0 +1,345 @@
+"""Unit tests for the ``repro.cluster.resilience`` client plane.
+
+Covers each piece in isolation — deadline budgets, deterministic retry
+backoff, the circuit-breaker state machine (including the lazy
+boundary-stamped open -> half-open transition and its byte-identical
+transition log across processes), health tracking, the hedging trigger,
+and the bounded-staleness degraded-read cache.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cluster.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    DeadlineBudget,
+    DeadlineExceeded,
+    DegradedReadError,
+    DegradedReadMode,
+    HealthTracker,
+    HedgedRead,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestDeadlineBudget:
+    def test_spend_and_remaining(self):
+        budget = DeadlineBudget(total_s=1.0)
+        assert budget.remaining() == pytest.approx(1.0)
+        budget.spend(0.25)
+        assert budget.remaining() == pytest.approx(0.75)
+        assert not budget.expired
+
+    def test_spend_clamps_and_expires(self):
+        budget = DeadlineBudget(total_s=0.5)
+        budget.spend(2.0)
+        assert budget.remaining() == 0.0
+        assert budget.expired
+
+    def test_require_raises_typed_error(self):
+        budget = DeadlineBudget(total_s=0.1)
+        budget.spend(0.2)
+        with pytest.raises(DeadlineExceeded) as exc:
+            budget.require("pull emb")
+        assert "pull emb" in str(exc.value)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineBudget(total_s=0.0)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        series_a = [a.backoff_s(n, key=3) for n in range(1, 5)]
+        series_b = [b.backoff_s(n, key=3) for n in range(1, 5)]
+        assert series_a == series_b
+
+    def test_different_seed_or_key_changes_jitter(self):
+        base = RetryPolicy(seed=7)
+        assert base.backoff_s(1, key=1) != RetryPolicy(seed=8).backoff_s(
+            1, key=1
+        )
+        assert base.backoff_s(1, key=1) != base.backoff_s(1, key=2)
+
+    def test_exponential_growth_capped(self):
+        retry = RetryPolicy(
+            base_backoff_s=0.1,
+            multiplier=2.0,
+            max_backoff_s=0.3,
+            jitter_frac=0.0,
+        )
+        assert retry.backoff_s(1) == pytest.approx(0.1)
+        assert retry.backoff_s(2) == pytest.approx(0.2)
+        assert retry.backoff_s(3) == pytest.approx(0.3)  # capped
+        assert retry.backoff_s(9) == pytest.approx(0.3)
+
+    def test_jitter_only_shrinks_within_fraction(self):
+        retry = RetryPolicy(base_backoff_s=0.1, jitter_frac=0.5, seed=11)
+        for attempt in range(1, 6):
+            backoff = retry.backoff_s(attempt, key=5)
+            ceiling = min(
+                retry.base_backoff_s * retry.multiplier ** (attempt - 1),
+                retry.max_backoff_s,
+            )
+            assert ceiling * 0.5 <= backoff <= ceiling
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=1.5)
+
+
+class TestCircuitBreaker:
+    def _tripped(self) -> CircuitBreaker:
+        brk = CircuitBreaker(
+            BreakerConfig(window=4, min_samples=2, cooldown_s=1.0)
+        )
+        brk.record_failure(0.1)
+        brk.record_failure(0.2)
+        return brk
+
+    def test_trips_at_failure_rate(self):
+        brk = self._tripped()
+        assert brk.state(0.3) == "open"
+        assert not brk.allow(0.3)
+
+    def test_successes_keep_it_closed(self):
+        brk = CircuitBreaker(BreakerConfig(window=4, min_samples=2))
+        for t in range(8):
+            brk.record_success(float(t))
+        assert brk.state(8.0) == "closed"
+        assert brk.allow(8.0)
+
+    def test_half_open_after_cooldown_with_probe_limit(self):
+        brk = self._tripped()
+        assert brk.state(1.5) == "half_open"
+        assert brk.allow(1.5)       # the single probe slot
+        assert not brk.allow(1.5)   # second concurrent probe refused
+
+    def test_probe_success_closes(self):
+        brk = self._tripped()
+        assert brk.allow(1.5)
+        brk.record_success(1.6)
+        assert brk.state(1.7) == "closed"
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        brk = self._tripped()
+        assert brk.allow(1.5)
+        brk.record_failure(1.6)
+        assert brk.state(1.7) == "open"
+        assert brk.state(2.5) == "open"      # new cooldown from 1.6
+        assert brk.state(2.7) == "half_open"
+
+    def test_lazy_transition_stamped_at_boundary(self):
+        a = self._tripped()
+        b = self._tripped()
+        a.state(1.2001)   # polled just past the boundary
+        b.state(9.0)      # polled much later
+        assert a.transitions == b.transitions
+        assert a.transitions[-1] == (1.2, "open", "half_open")
+
+    def test_transitions_byte_identical_across_processes(self):
+        script = (
+            "from repro.cluster.resilience import BreakerConfig, "
+            "CircuitBreaker\n"
+            "brk = CircuitBreaker(BreakerConfig(window=4, min_samples=2, "
+            "cooldown_s=1.0))\n"
+            "brk.record_failure(0.1); brk.record_failure(0.2)\n"
+            "brk.allow(1.5); brk.record_failure(1.6)\n"
+            "brk.state(2.7); brk.allow(2.7); brk.record_success(2.8)\n"
+            "print(repr(brk.transitions))\n"
+        )
+        outs = []
+        for hashseed in ("0", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hashseed
+            env["PYTHONPATH"] = os.path.join(REPO, "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=60,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+        assert "half_open" in outs[0]
+
+
+class TestHealthTracker:
+    def test_ewma_and_error_rate(self):
+        health = HealthTracker(alpha=0.5)
+        health.record(0, 0.1, True)
+        health.record(0, 0.3, True)
+        assert health.ewma_latency_s(0) == pytest.approx(0.2)
+        health.record(0, 0.2, False)
+        assert health.error_rate(0) == pytest.approx(0.5)
+        assert health.observations(0) == 3
+
+    def test_quantile_inf_when_cold(self):
+        health = HealthTracker()
+        assert health.latency_quantile(0.95) == float("inf")
+
+    def test_failures_and_hedged_stay_out_of_quantile_window(self):
+        health = HealthTracker()
+        health.record(0, 0.1, True)
+        health.record(1, 99.0, False)            # failure: excluded
+        health.record(2, 50.0, True, hedged=True)  # hedged: excluded
+        assert health.latency_quantile(1.0) == pytest.approx(0.1)
+
+    def test_replica_order_is_deterministic_and_health_first(self):
+        health = HealthTracker()
+        health.record(3, 0.5, True)
+        health.record(1, 0.1, True)
+        health.record(2, 0.1, False)   # errors beat latency
+        assert health.replica_order([1, 2, 3]) == [1, 3, 2]
+        assert health.replica_order([7, 5]) == [5, 7]  # id tie-break
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            HealthTracker(window=0)
+
+
+class TestHedgedRead:
+    def test_cold_tracker_disables_hedging(self):
+        hedge = HedgedRead()
+        health = HealthTracker()
+        assert hedge.hedge_delay_s(health) == float("inf")
+        assert not hedge.should_hedge(health, in_flight_s=100.0)
+
+    def test_fires_past_learned_quantile(self):
+        hedge = HedgedRead(quantile=0.95)
+        health = HealthTracker()
+        for _ in range(20):
+            health.record(0, 0.01, True)
+        assert hedge.hedge_delay_s(health) == pytest.approx(0.01)
+        assert hedge.should_hedge(health, in_flight_s=0.02)
+        assert not hedge.should_hedge(health, in_flight_s=0.005)
+
+    def test_min_delay_floor(self):
+        hedge = HedgedRead(min_delay_s=0.5)
+        health = HealthTracker()
+        health.record(0, 0.01, True)
+        assert hedge.hedge_delay_s(health) == pytest.approx(0.5)
+
+
+class TestDegradedReadMode:
+    def _mode(self) -> DegradedReadMode:
+        mode = DegradedReadMode()
+        mode.update(
+            "emb",
+            np.array([1, 2, 3], dtype=np.int64),
+            np.full((3, 2), 1.0),
+            np.array([1, 1, 1], dtype=np.int64),
+            synced_version=1,
+        )
+        return mode
+
+    def test_serve_returns_cached_rows_flagged_degraded(self):
+        mode = self._mode()
+        stale = mode.serve("emb", current_version=3)
+        assert stale.degraded
+        assert stale.ids.tolist() == [1, 2, 3]
+        assert stale.as_of_version == 1
+        assert stale.staleness_versions == 2
+        assert stale.row_staleness.tolist() == [2, 2, 2]
+
+    def test_update_keeps_freshest_row_version(self):
+        mode = self._mode()
+        mode.update(
+            "emb",
+            np.array([2, 4], dtype=np.int64),
+            np.full((2, 2), 5.0),
+            np.array([2, 2], dtype=np.int64),
+            synced_version=2,
+        )
+        stale = mode.serve("emb")
+        assert stale.ids.tolist() == [1, 2, 3, 4]
+        by_id = dict(zip(stale.ids.tolist(), stale.rows[:, 0].tolist()))
+        assert by_id[2] == 5.0 and by_id[1] == 1.0
+        assert stale.row_versions.tolist() == [1, 2, 1, 2]
+
+    def test_update_is_idempotent(self):
+        mode = self._mode()
+        before = mode.serve("emb")
+        mode.update(
+            "emb",
+            np.array([1, 2, 3], dtype=np.int64),
+            np.full((3, 2), 1.0),
+            np.array([1, 1, 1], dtype=np.int64),
+            synced_version=1,
+        )
+        after = mode.serve("emb")
+        np.testing.assert_array_equal(before.ids, after.ids)
+        np.testing.assert_array_equal(before.rows, after.rows)
+
+    def test_unseen_table_serves_empty(self):
+        stale = DegradedReadMode().serve("ghost", current_version=5)
+        assert stale.ids.size == 0 and stale.rows.size == 0
+        assert stale.degraded
+
+
+class TestDegradedReadError:
+    def test_carries_staleness_accounting(self):
+        err = DegradedReadError(["emb"], synced_version=3, current_version=7)
+        assert err.staleness_versions == 4
+        assert "emb" in str(err)
+
+
+class TestResiliencePolicy:
+    def test_breakers_are_cached_per_shard(self):
+        policy = ResiliencePolicy()
+        assert policy.breaker_for(3) is policy.breaker_for(3)
+        assert policy.breaker_for(3) is not policy.breaker_for(4)
+
+    def test_open_breakers_counts_at_time(self):
+        policy = ResiliencePolicy(
+            breaker=BreakerConfig(window=4, min_samples=2, cooldown_s=1.0)
+        )
+        brk = policy.breaker_for(0)
+        brk.record_failure(0.1)
+        brk.record_failure(0.2)
+        assert policy.open_breakers(0.5) == 1
+        assert policy.open_breakers(2.0) == 0  # half-open by then
+
+    def test_transitions_sorted_by_time_then_shard(self):
+        policy = ResiliencePolicy(
+            breaker=BreakerConfig(window=4, min_samples=2, cooldown_s=1.0)
+        )
+        for sid in (1, 0):
+            brk = policy.breaker_for(sid)
+            brk.record_failure(0.1)
+            brk.record_failure(0.2)
+        rows = policy.breaker_transitions()
+        assert rows == sorted(rows, key=lambda r: (r[1], r[0]))
+        assert [r[0] for r in rows] == [0, 1]
+
+    def test_wait_advances_clock_and_fires_hook(self):
+        seen: list[float] = []
+        policy = ResiliencePolicy(on_wait=seen.append)
+        policy.wait(0.5)
+        policy.wait(0.25)
+        assert policy.clock.now() == pytest.approx(0.75)
+        assert seen == [pytest.approx(0.5), pytest.approx(0.75)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(attempt_timeout_s=-1.0)

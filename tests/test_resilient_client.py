@@ -1,0 +1,380 @@
+"""Integration tests for the resilient read/sync path of ``ShardClient``.
+
+Exercises the whole client plane against a live store: exactness parity
+with the legacy pull path, hedged reads under a slow replica, breaker
+lifecycle across pulls, degraded serving with its staleness bound under
+full coverage loss, retry-until-heal flows driven by a fault plane, and
+the idempotent flush-retry guarantee (no acked publish lost or
+double-applied).  The facade-level typed errors ride along.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import FaultEvent, FaultPlane, FaultSchedule
+from repro.cluster.parameter_server import ParameterServer, PublishRefusedError
+from repro.cluster.resilience import (
+    DegradedReadError,
+    HedgedRead,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.cluster.shardstore import (
+    QuorumError,
+    ShardClient,
+    ShardedParameterStore,
+)
+
+DIM = 4
+
+
+def make_store(num_shards=4, replication=3, dim=DIM):
+    return ShardedParameterStore(
+        num_shards=num_shards,
+        row_bytes=dim * 8,
+        row_dim=dim,
+        replication=replication,
+    )
+
+
+def as_map(ids: np.ndarray, rows: np.ndarray) -> dict[int, tuple]:
+    return {int(i): tuple(r) for i, r in zip(ids, rows)}
+
+
+class TestExactnessParity:
+    def test_healthy_pull_matches_legacy_path(self):
+        store = make_store(num_shards=8, replication=2)
+        legacy = ShardClient(store)
+        resilient = ShardClient(store, resilience=ResiliencePolicy())
+        rng = np.random.default_rng(5)
+        store.publish_batch("emb", np.arange(100), rng.normal(size=(100, DIM)))
+        store.publish_batch(
+            "emb", np.arange(40, 60), rng.normal(size=(20, DIM))
+        )
+        got_legacy, rep_legacy = legacy.pull_tables(["emb"])
+        got_res, rep_res = resilient.pull_tables(["emb"])
+        assert as_map(*got_res["emb"]) == as_map(*got_legacy["emb"])
+        assert rep_res.rows == rep_legacy.rows == 100
+        assert rep_res.outcome == "ok" and not rep_res.degraded
+        assert resilient.synced_version == legacy.synced_version == 2
+
+    def test_row_filter_parity(self):
+        store = make_store(num_shards=8, replication=2)
+        legacy = ShardClient(store)
+        resilient = ShardClient(store, resilience=ResiliencePolicy())
+        store.publish_batch("emb", np.arange(50), np.ones((50, DIM)))
+        keep = np.array([3, 7, 11, 48])
+        got_legacy, _ = legacy.pull_tables(["emb"], row_filter=keep)
+        got_res, _ = resilient.pull_tables(["emb"], row_filter=keep)
+        assert as_map(*got_res["emb"]) == as_map(*got_legacy["emb"])
+        assert got_res["emb"][0].size == keep.size
+
+    def test_one_dead_replica_stays_exact(self):
+        store = make_store(num_shards=4, replication=3)
+        client = ShardClient(store, resilience=ResiliencePolicy())
+        rng = np.random.default_rng(11)
+        values = rng.normal(size=(64, DIM))
+        store.publish_batch("emb", np.arange(64), values)
+        store.kill_shard(store.shard_ids[0])
+        deltas, report = client.pull_tables(["emb"])
+        assert not report.degraded
+        assert report.rows == 64
+        got = as_map(*deltas["emb"])
+        want = as_map(np.arange(64), values)
+        assert got == want
+        assert client.synced_version == store.version
+
+
+class TestHedgedReads:
+    def _run(self, hedge=None, *, slow_factor=20.0, trials=16, warmup=12):
+        """Publish-then-pull loop with one replica turning slow mid-run."""
+        rng = np.random.default_rng(23)
+        store = make_store(num_shards=8, replication=3)
+        store.publish_batch(
+            "emb", np.arange(4096), rng.normal(size=(4096, DIM))
+        )
+        victim = int(store.shard_ids[0])
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [FaultEvent(1.0, "slow_node", shard_id=victim, factor=slow_factor)]
+            ),
+        )
+        policy = (
+            ResiliencePolicy()
+            if hedge is None
+            else ResiliencePolicy(hedge=hedge)
+        )
+        client = ShardClient(store, faults=plane, resilience=policy)
+        healthy, slowed = [], []
+        hedges = 0
+        for trial in range(warmup + trials):
+            if trial == warmup:
+                plane.advance_to(1.0)
+            hot = rng.choice(4096, size=64, replace=False)
+            store.publish_batch("emb", hot, rng.normal(size=(64, DIM)))
+            _, report = client.pull_tables(["emb"])
+            assert not report.degraded
+            if trial >= warmup:
+                slowed.append(report.seconds)
+                hedges += report.hedges
+            else:
+                healthy.append(report.seconds)
+        return max(healthy[1:]), max(slowed), hedges
+
+    def test_hedging_bounds_the_slow_replica_tail(self):
+        baseline, hedged, hedges = self._run()
+        assert hedges > 0
+        # hedge fires at ~p95 of healthy latency, backup costs ~one more
+        # healthy RPC: well under the 20x the straggler would impose
+        # (the CI bench gates the 3x p99 claim at full scale).
+        assert hedged <= 4.0 * baseline
+        _, unhedged, no_hedges = self._run(hedge=HedgedRead(min_delay_s=1e9))
+        assert no_hedges == 0
+        assert unhedged >= 10.0 * baseline
+        assert hedged < unhedged / 2.0
+
+    def test_hedged_pulls_stay_exact(self):
+        rng = np.random.default_rng(3)
+        store = make_store(num_shards=8, replication=3)
+        store.publish_batch(
+            "emb", np.arange(512), rng.normal(size=(512, DIM))
+        )
+        victim = int(store.shard_ids[0])
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [FaultEvent(0.0, "slow_node", shard_id=victim, factor=30.0)]
+            ),
+        )
+        plane.advance_to(0.0)
+        client = ShardClient(store, faults=plane, resilience=ResiliencePolicy())
+        client.pull_tables(["emb"])  # warm the hedge quantile
+        values = rng.normal(size=(512, DIM))
+        store.publish_batch("emb", np.arange(512), values)
+        deltas, report = client.pull_tables(["emb"])
+        assert report.hedges > 0 and report.outcome == "hedged"
+        assert as_map(*deltas["emb"]) == as_map(np.arange(512), values)
+
+
+class TestBreakerLifecycle:
+    def _partition_scenario(self):
+        store = make_store(num_shards=4, replication=3)
+        store.publish_batch("emb", np.arange(32), np.ones((32, DIM)))
+        victim = int(store.shard_ids[0])
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [FaultEvent(0.0, "partition", shard_id=victim, duration_s=1e4)]
+            ),
+        )
+        plane.advance_to(0.0)
+        policy = ResiliencePolicy()
+        client = ShardClient(store, faults=plane, resilience=policy)
+        for _ in range(4):
+            _, report = client.pull_tables(["emb"])
+            assert not report.degraded  # failover keeps the pull exact
+        return victim, policy
+
+    def test_repeated_partition_failures_trip_the_breaker(self):
+        victim, policy = self._partition_scenario()
+        now = policy.clock.now()
+        assert policy.breaker_for(victim).state(now) == "open"
+        assert policy.open_breakers(now) == 1
+        kinds = [
+            (sid, frm, to)
+            for sid, _, frm, to in policy.breaker_transitions()
+        ]
+        assert (victim, "closed", "open") in kinds
+
+    def test_breaker_transition_log_replays_identically(self):
+        _, a = self._partition_scenario()
+        _, b = self._partition_scenario()
+        assert a.breaker_transitions() == b.breaker_transitions()
+        assert a.breaker_transitions()  # non-trivial log
+
+
+class TestDegradedServing:
+    def _coverage_loss(self, degraded=True):
+        """Doctest scenario: sync v1, lose coverage, publish v2 unseen."""
+        store = make_store(num_shards=4, replication=3)
+        policy = (
+            ResiliencePolicy(deadline_s=2.0)
+            if degraded
+            else ResiliencePolicy(deadline_s=2.0, degraded=None)
+        )
+        client = ShardClient(store, resilience=policy)
+        store.publish_batch("emb", np.arange(6), np.full((6, DIM), 1.0))
+        _, report = client.pull_tables(["emb"])
+        assert report.outcome == "ok" and client.synced_version == 1
+        store.kill_shard(store.shard_ids[0])
+        store.publish_batch("emb", np.arange(3), np.full((3, DIM), 2.0))
+        for sid in store.shard_ids[1:3]:
+            store.kill_shard(sid)
+        return store, client
+
+    def test_full_coverage_loss_degrades_without_advancing_sync(self):
+        store, client = self._coverage_loss()
+        deltas, report = client.pull_tables(["emb"])
+        assert report.degraded and report.outcome == "degraded"
+        assert deltas["emb"][0].size == 0
+        assert client.synced_version == 1  # the gap is NOT skipped
+        assert report.seconds == client.resilience.deadline_s
+
+    def test_degraded_read_bounded_by_last_sync(self):
+        store, client = self._coverage_loss()
+        client.pull_tables(["emb"])
+        stale = client.degraded_read("emb")
+        assert stale.degraded
+        assert stale.as_of_version == 1 and stale.current_version == 2
+        assert stale.staleness_versions == 1
+        # staleness bound: rows are exactly the v1 payloads the client
+        # last synced — never the unseen v2 writes, never older either
+        assert stale.ids.tolist() == list(range(6))
+        assert float(stale.rows.min()) == float(stale.rows.max()) == 1.0
+        assert stale.row_versions.max() <= stale.as_of_version
+        assert stale.row_staleness.tolist() == [1] * 6
+
+    def test_gap_is_repulled_after_repair(self):
+        store, client = self._coverage_loss()
+        client.pull_tables(["emb"])  # degraded
+        for sid in list(store.down_shard_ids):
+            store.revive_shard(sid)
+        store.repair()
+        deltas, report = client.pull_tables(["emb"])
+        assert not report.degraded
+        assert client.synced_version == 2
+        ids, rows = deltas["emb"]
+        assert ids.tolist() == [0, 1, 2]  # the publish missed while down
+        assert float(rows.min()) == 2.0
+
+    def test_no_cache_raises_typed_error(self):
+        store, client = self._coverage_loss(degraded=False)
+        with pytest.raises(DegradedReadError) as exc:
+            client.pull_tables(["emb"])
+        assert exc.value.synced_version == 1
+        assert exc.value.current_version == 2
+        assert exc.value.staleness_versions == 1
+        assert client.synced_version == 1
+
+
+class TestRetryHeal:
+    def test_pull_retries_until_fault_plane_heals(self):
+        store = make_store(num_shards=4, replication=3)
+        client_policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=4, base_backoff_s=0.05)
+        )
+        client = ShardClient(store, resilience=client_policy)
+        store.publish_batch("emb", np.arange(16), np.ones((16, DIM)))
+        client.pull_tables(["emb"])
+        events = [FaultEvent(0.0, "kill", sid) for sid in store.shard_ids]
+        events += [FaultEvent(0.01, "revive", sid) for sid in store.shard_ids]
+        plane = FaultPlane(store, FaultSchedule(events))
+        client.faults = plane
+        client_policy.on_wait = plane.advance_to
+        plane.advance_to(0.0)  # everything down: no backups anywhere
+        assert len(store.down_shard_ids) == 4
+        values = np.full((16, DIM), 7.0)
+        # publish cannot land while all shards are down, so stage the
+        # next window's state on the store directly after the heal fires:
+        # here we only exercise the *pull* retry loop.
+        deltas, report = client.pull_tables(["emb"])
+        assert report.retries >= 1
+        assert not report.degraded and report.outcome == "ok"
+        assert store.down_shard_ids == []  # on_wait drove the heal
+        del values
+
+    def test_flush_retry_is_idempotent(self):
+        store = make_store(num_shards=4, replication=3)
+        down = [int(s) for s in store.shard_ids[:2]]
+        plane = FaultPlane(
+            store,
+            FaultSchedule(
+                [FaultEvent(0.01, "revive", sid) for sid in down]
+            ),
+        )
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=4, base_backoff_s=0.05),
+            on_wait=plane.advance_to,
+        )
+        client = ShardClient(store, resilience=policy)
+        store.publish_batch("emb", np.arange(8), np.ones((8, DIM)))
+        version_before = store.version
+        for sid in down:
+            store.kill_shard(sid)
+        client.stage("emb", np.arange(8), np.full((8, DIM), 3.0))
+        report = client.flush()
+        # quorum refusals happen before any version bump, so however many
+        # attempts the flush took, exactly ONE publish landed
+        assert report.retries >= 1
+        assert store.version == version_before + 1
+        assert client.staged_rows == 0
+        found, rows = store.pull_rows("emb", np.arange(8))
+        assert bool(found.all()) and float(rows.min()) == 3.0
+
+    def test_flush_exhaustion_raises_and_preserves_staged_rows(self):
+        store = make_store(num_shards=4, replication=3)
+        policy = ResiliencePolicy(retry=RetryPolicy(max_attempts=2))
+        client = ShardClient(store, resilience=policy)
+        store.publish_batch("emb", np.arange(8), np.ones((8, DIM)))
+        for sid in store.shard_ids[:2]:
+            store.kill_shard(sid)
+        client.stage("emb", np.arange(8), np.full((8, DIM), 9.0))
+        with pytest.raises(QuorumError):
+            client.flush()
+        assert client.staged_rows == 8  # nothing lost
+        assert store.version == 1  # nothing half-applied
+        for sid in list(store.down_shard_ids):
+            store.revive_shard(sid)
+        report = client.flush()  # same staged batch, now it lands
+        assert report.rows == 8 and store.version == 2
+        _, rows = store.pull_rows("emb", np.arange(8))
+        assert float(rows.min()) == 9.0
+
+
+class TestFacadeTypedErrors:
+    def _server(self) -> ParameterServer:
+        server = ParameterServer(num_shards=4, row_bytes=DIM * 8, replication=3)
+        server.publish_batch("emb", np.arange(12), np.ones((12, DIM)))
+        return server
+
+    def test_publish_refused_is_typed_and_atomic(self):
+        server = self._server()
+        for sid in server.store.shard_ids[:2]:
+            server.kill_shard(sid)
+        with pytest.raises(PublishRefusedError) as exc:
+            server.publish_batch("emb", np.arange(12), np.full((12, DIM), 2.0))
+        assert isinstance(exc.value, QuorumError)
+        assert server.version == 1  # refused before any bump
+        _, rows = server.store.pull_rows("emb", np.arange(12))
+        assert float(rows.max()) == 1.0  # no partial write either
+
+    def _exhaust(self, server: ParameterServer) -> None:
+        for sid in server.store.shard_ids[:3]:
+            server.kill_shard(sid)
+
+    def test_pull_rows_raises_degraded_read_error(self):
+        server = self._server()
+        self._exhaust(server)
+        with pytest.raises(DegradedReadError) as exc:
+            server.pull_rows("emb", np.arange(12))
+        assert exc.value.reason == "coverage"
+        found, rows = server.pull_rows(
+            "emb", np.arange(12), degraded_ok=True
+        )
+        # best-effort: surviving replicas answer what they can (rows whose
+        # every live owner is down stay missing), and what IS served is
+        # the acknowledged payload, never garbage
+        assert bool(found.any())
+        assert float(rows[found].max()) == float(rows[found].min()) == 1.0
+
+    def test_pull_delta_degraded_ok_returns_own_sync_point(self):
+        server = self._server()
+        self._exhaust(server)
+        with pytest.raises(DegradedReadError):
+            server.pull_delta("emb", 0)
+        ids, rows, version = server.pull_delta("emb", 0, degraded_ok=True)
+        assert ids.size == 0 and rows.shape[0] == 0
+        assert version == 0  # caller keeps its sync point: gap re-pulled

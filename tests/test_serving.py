@@ -6,7 +6,7 @@ import pytest
 from repro.hardware.numa import AdaptiveNumaPartitioner
 from repro.hardware.topology import EPYC_9684X_DUAL
 from repro.serving.engine import ColocatedNodeSimulator, NodeSimConfig
-from repro.serving.qos import SLAMonitor
+from repro.serving.qos import OUTCOMES, SLAMonitor
 
 
 @pytest.fixture(scope="module")
@@ -164,3 +164,90 @@ class TestSLATelemetry:
             set_enabled(True)
         assert hist.count == before  # telemetry skipped
         assert report.violated  # report semantics untouched
+
+
+class TestSLAOutcomeClasses:
+    """Satellite 2 of ISSUE 10: requests that were hedged, degraded,
+    timed out, or shed are counted per window, separately from clean
+    ones — tail percentiles alone can't tell "fast because healthy"
+    from "fast because we gave up"."""
+
+    def test_outcome_order_pinned(self):
+        assert OUTCOMES == ("clean", "hedged", "degraded", "timed_out", "shed")
+
+    def test_outcomes_partition_the_window(self):
+        mon = SLAMonitor(p99_target_ms=10, window_requests=10)
+        outcomes = ["clean"] * 5 + ["hedged"] * 2 + ["degraded"] * 1 + [
+            "timed_out"
+        ] * 1 + ["shed"] * 1
+        (report,) = mon.observe(np.full(10, 2.0), outcomes=outcomes)
+        assert report.num_clean == 5
+        assert report.num_hedged == 2
+        assert report.num_degraded == 1
+        assert report.num_timed_out == 1
+        assert report.num_shed == 1
+        assert (
+            report.num_clean + report.num_hedged + report.num_degraded
+            + report.num_timed_out + report.num_shed
+        ) == report.num_requests
+        assert report.clean_fraction == pytest.approx(0.5)
+
+    def test_counts_split_across_windows(self):
+        mon = SLAMonitor(p99_target_ms=10, window_requests=4)
+        outcomes = ["clean", "hedged", "clean", "clean", "shed", "clean"]
+        reports = mon.observe(np.full(6, 1.0), outcomes=outcomes)
+        assert len(reports) == 1
+        assert reports[0].num_hedged == 1 and reports[0].num_shed == 0
+        (second,) = mon.observe(
+            np.full(2, 1.0), outcomes=["degraded", "clean"]
+        )
+        assert second.num_shed == 1  # carried over from the partial tail
+        assert second.num_degraded == 1
+
+    def test_omitted_outcomes_mean_all_clean(self):
+        mon = SLAMonitor(p99_target_ms=10, window_requests=100)
+        samples = np.linspace(1.0, 9.0, 100)
+        (report,) = mon.observe(samples)
+        assert report.num_clean == report.num_requests == 100
+        assert report.clean_fraction == 1.0
+        # and the latency summary is bit-identical to an explicit
+        # all-clean call — the pre-resilience behaviour
+        explicit = SLAMonitor(p99_target_ms=10, window_requests=100)
+        (report2,) = explicit.observe(samples, outcomes=["clean"] * 100)
+        assert (report.p50_ms, report.p95_ms, report.p99_ms) == (
+            report2.p50_ms, report2.p95_ms, report2.p99_ms,
+        )
+
+    def test_size_mismatch_raises(self):
+        mon = SLAMonitor(window_requests=10)
+        with pytest.raises(ValueError):
+            mon.observe(np.full(3, 1.0), outcomes=["clean"] * 2)
+
+    def test_unknown_outcome_raises(self):
+        mon = SLAMonitor(window_requests=10)
+        with pytest.raises(KeyError):
+            mon.observe(np.full(1, 1.0), outcomes=["mystery"])
+
+    def test_outcome_counters_feed_telemetry(self):
+        from repro.obs import registry
+
+        reg = registry()
+        hedged = reg.counter("serving.sla.hedged")
+        shed = reg.counter("serving.sla.shed")
+        before = (hedged.value, shed.value)
+        mon = SLAMonitor(window_requests=100)
+        mon.observe(
+            np.full(5, 1.0),
+            outcomes=["hedged", "hedged", "shed", "clean", "clean"],
+        )
+        assert hedged.value - before[0] == 2
+        assert shed.value - before[1] == 1
+
+    def test_empty_window_clean_fraction_is_zero(self):
+        from repro.serving.qos import SLAReport
+
+        report = SLAReport(
+            window_id=1, p50_ms=0.0, p95_ms=0.0, p99_ms=0.0,
+            violated=False, num_requests=0,
+        )
+        assert report.clean_fraction == 0.0
